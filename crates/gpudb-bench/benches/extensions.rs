@@ -1,0 +1,149 @@
+//! Criterion benchmarks for the extension modules: DNF evaluation, OLAP
+//! histograms and roll-ups, out-of-core chunking, polynomial queries, and
+//! the §6.1 depth-compare-mask accumulator.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpudb_bench::harness::Workload;
+use gpudb_core::aggregate::{sum, sum_with_depth_mask};
+use gpudb_core::boolean::{eval_dnf_select, GpuDnf, GpuPredicate, GpuTerm};
+use gpudb_core::olap;
+use gpudb_core::out_of_core::ChunkedTable;
+use gpudb_core::semilinear::polynomial_select;
+use gpudb_core::table::GpuTable;
+use gpudb_sim::{CompareFunc, HardwareProfile};
+
+fn bench_dnf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_dnf");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 16_384;
+    let mut w = Workload::tcpip(n).unwrap();
+    let dnf = GpuDnf::new(vec![
+        GpuTerm::all(vec![
+            GpuPredicate::new(0, CompareFunc::GreaterEqual, 100_000),
+            GpuPredicate::new(1, CompareFunc::Greater, 0),
+        ]),
+        GpuTerm::all(vec![
+            GpuPredicate::new(2, CompareFunc::Less, 2_000),
+            GpuPredicate::new(3, CompareFunc::GreaterEqual, 4),
+        ]),
+    ]);
+    group.bench_function("two_term_dnf", |b| {
+        b.iter(|| {
+            let table = &w.table;
+            eval_dnf_select(&mut w.gpu, table, &dnf).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_olap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_olap");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 16_384;
+    let mut w = Workload::tcpip(n).unwrap();
+    for buckets in [8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("histogram", buckets),
+            &buckets,
+            |b, &buckets| {
+                let edges = olap::equi_width_edges(0, (1 << 19) - 1, buckets);
+                b.iter(|| {
+                    let table = &w.table;
+                    olap::histogram(&mut w.gpu, table, 0, &edges).unwrap()
+                })
+            },
+        );
+    }
+    // Roll-up over a genuinely low-cardinality dimension (household size).
+    let census = gpudb_data::census::generate(n, 7);
+    let mut cw = Workload::from_dataset(census).unwrap();
+    group.bench_function("group_by_count_household", |b| {
+        b.iter(|| {
+            let table = &cw.table;
+            olap::group_by_count(&mut cw.gpu, table, 3).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_out_of_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_out_of_core");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let dataset = gpudb_data::tcpip::generate(32_768, 7);
+    let values = &dataset.columns[0].values;
+    for chunk in [4_096usize, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::new("chunked_sum", chunk),
+            &chunk,
+            |b, &chunk| {
+                let ct = ChunkedTable::new("t", vec![("a", values.as_slice())], chunk).unwrap();
+                let mut gpu = ct.device_for_chunks(128);
+                b.iter(|| ct.sum(&mut gpu, 0).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_polynomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_polynomial");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 16_384;
+    let mut w = Workload::tcpip(n).unwrap();
+    group.bench_function("quadratic_form", |b| {
+        b.iter(|| {
+            let table = &w.table;
+            polynomial_select(
+                &mut w.gpu,
+                table,
+                &[1e-6, -2e-6, 0.0, 0.0],
+                &[0.5, 0.25, 0.0, 0.0],
+                CompareFunc::GreaterEqual,
+                1_000.0,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_wishlist_accumulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_wishlist_accumulator");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let dataset = gpudb_data::tcpip::generate(16_384, 7);
+    let values = &dataset.columns[0].values;
+    let mut gpu = gpudb_sim::Gpu::new(
+        HardwareProfile::geforce_fx_5900_with_depth_mask(),
+        128,
+        128,
+    );
+    let table = GpuTable::upload(&mut gpu, "t", &[("a", values)]).unwrap();
+    group.bench_function("testbit_program", |b| {
+        b.iter(|| sum(&mut gpu, &table, 0, None).unwrap())
+    });
+    group.bench_function("depth_compare_mask", |b| {
+        b.iter(|| sum_with_depth_mask(&mut gpu, &table, 0, None).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dnf,
+    bench_olap,
+    bench_out_of_core,
+    bench_polynomial,
+    bench_wishlist_accumulator
+);
+criterion_main!(benches);

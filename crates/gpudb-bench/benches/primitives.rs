@@ -1,0 +1,143 @@
+//! Criterion microbenchmarks for the selection primitives (Figures 2-6),
+//! measuring the simulator's wall-clock alongside the equivalent CPU
+//! baselines. Modeled-2004 comparisons live in the `reproduce` binary.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpudb_bench::harness::Workload;
+use gpudb_core::boolean::{eval_cnf_select, GpuCnf, GpuPredicate};
+use gpudb_core::predicate::{compare_select, copy_to_depth};
+use gpudb_core::range::range_select;
+use gpudb_core::semilinear::semilinear_select;
+use gpudb_data::selectivity::{range_for_selectivity, threshold_for_ge};
+use gpudb_sim::CompareFunc;
+
+const SIZES: [usize; 3] = [4_096, 16_384, 65_536];
+
+fn bench_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_copy_to_depth");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &SIZES {
+        let mut w = Workload::tcpip(n).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let table = &w.table;
+                copy_to_depth(&mut w.gpu, table, 0).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predicate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_predicate");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &SIZES {
+        let mut w = Workload::tcpip(n).unwrap();
+        let values = w.dataset.columns[0].values.clone();
+        let (threshold, _) = threshold_for_ge(&values, 0.6).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
+            b.iter(|| {
+                let table = &w.table;
+                compare_select(&mut w.gpu, table, 0, CompareFunc::GreaterEqual, threshold)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_scan", n), &n, |b, _| {
+            b.iter(|| gpudb_cpu::scan::scan_u32(&values, gpudb_cpu::CmpOp::Ge, threshold))
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_range");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &SIZES {
+        let mut w = Workload::tcpip(n).unwrap();
+        let values = w.dataset.columns[0].values.clone();
+        let (low, high, _) = range_for_selectivity(&values, 0.6).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
+            b.iter(|| {
+                let table = &w.table;
+                range_select(&mut w.gpu, table, 0, low, high).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_range", n), &n, |b, _| {
+            b.iter(|| gpudb_cpu::cnf::eval_range(&values, low, high))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiattr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_multiattr");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 16_384;
+    let mut w = Workload::tcpip(n).unwrap();
+    let thresholds: Vec<u32> = (0..4)
+        .map(|c| threshold_for_ge(&w.dataset.columns[c].values, 0.6).unwrap().0)
+        .collect();
+    for attrs in 1..=4usize {
+        let cnf = GpuCnf::all_of(
+            (0..attrs)
+                .map(|c| GpuPredicate::new(c, CompareFunc::GreaterEqual, thresholds[c]))
+                .collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("gpu_sim", attrs), &attrs, |b, _| {
+            b.iter(|| {
+                let table = &w.table;
+                eval_cnf_select(&mut w.gpu, table, &cnf).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_semilinear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_semilinear");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let coeffs = [0.375f32, -1.25, 2.5, 0.8125];
+    for &n in &SIZES {
+        let mut w = Workload::tcpip(n).unwrap();
+        let host: Vec<Vec<u32>> = w.dataset.columns.iter().map(|c| c.values.clone()).collect();
+        let refs: Vec<&[u32]> = host.iter().map(|v| v.as_slice()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
+            b.iter(|| {
+                let table = &w.table;
+                semilinear_select(&mut w.gpu, table, &coeffs, CompareFunc::GreaterEqual, 1e5)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cpu_scan", n), &n, |b, _| {
+            b.iter(|| {
+                gpudb_cpu::semilinear::semilinear_scan(&refs, &coeffs, gpudb_cpu::CmpOp::Ge, 1e5)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_copy,
+    bench_predicate,
+    bench_range,
+    bench_multiattr,
+    bench_semilinear
+);
+criterion_main!(benches);

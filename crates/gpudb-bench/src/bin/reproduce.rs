@@ -1,0 +1,110 @@
+//! Regenerate every figure of the paper's evaluation section.
+//!
+//! ```sh
+//! # quick pass over all experiments at reduced sizes
+//! cargo run --release -p gpudb-bench --bin reproduce
+//!
+//! # the paper's record counts (1M records; minutes of simulation)
+//! cargo run --release -p gpudb-bench --bin reproduce -- --scale paper
+//!
+//! # individual figures, JSON output
+//! cargo run --release -p gpudb-bench --bin reproduce -- fig3 fig4 --json results/
+//! ```
+
+use gpudb_bench::experiments::{self, ALL_EXPERIMENTS};
+use gpudb_bench::report::Scale;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut json_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("small") => scale = Scale::Small,
+                Some("paper") => scale = Scale::Paper,
+                other => {
+                    eprintln!("--scale must be 'small' or 'paper', got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match args.next() {
+                Some(dir) => json_dir = Some(dir),
+                None => {
+                    eprintln!("--json requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: reproduce [--scale small|paper] [--json DIR] [EXPERIMENT...]\n\
+                     experiments: {ALL_EXPERIMENTS:?} (default: all)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string()));
+    }
+
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "reproducing {} experiment(s) at {:?} scale\n\
+         (GPU timings are the calibrated GeForce FX 5900 cost model; CPU \n\
+         timings are the calibrated 2004 Xeon model plus this host's wall-clock)\n",
+        ids.len(),
+        scale
+    );
+
+    let mut failures = 0usize;
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match experiments::run(id, scale) {
+            Ok(result) => {
+                println!("{}", result.render_text());
+                println!(
+                    "   [simulated in {:.1} s]\n",
+                    started.elapsed().as_secs_f64()
+                );
+                if !result.shape_holds {
+                    failures += 1;
+                }
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/{id}.json");
+                    match serde_json::to_string_pretty(&result) {
+                        Ok(json) => {
+                            if let Err(e) = std::fs::write(&path, json) {
+                                eprintln!("cannot write {path}: {e}");
+                            }
+                        }
+                        Err(e) => eprintln!("cannot serialize {id}: {e}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}\n");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) diverged or failed");
+        ExitCode::FAILURE
+    } else {
+        println!("all {} experiment shapes hold ✓", ids.len());
+        ExitCode::SUCCESS
+    }
+}

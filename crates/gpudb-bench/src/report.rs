@@ -1,0 +1,199 @@
+//! Result containers and text/JSON rendering for figure reproductions.
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale: `Small` keeps the software simulator fast for CI and
+/// benches; `Paper` uses the paper's record counts (1M TCP/IP records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Up to ~100 K records.
+    Small,
+    /// The paper's sizes (up to 1 M records).
+    Paper,
+}
+
+impl Scale {
+    /// Record-count sweep used by the per-size figures.
+    pub fn sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![10_000, 25_000, 50_000, 100_000],
+            Scale::Paper => vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
+        }
+    }
+
+    /// The largest sweep size.
+    pub fn max_records(self) -> usize {
+        *self.sweep().last().expect("sweep is non-empty")
+    }
+
+    /// Record count for the k-th-largest figure (the paper uses "a portion
+    /// of the TCP/IP database with nearly 250K records").
+    pub fn kth_records(self) -> usize {
+        match self {
+            Scale::Small => 50_000,
+            Scale::Paper => 250_000,
+        }
+    }
+}
+
+/// One plotted line: `(x, milliseconds)` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, x in the figure's native unit.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y_ms: f64) {
+        self.points.push((x, y_ms));
+    }
+
+    /// y value at the largest x.
+    pub fn last_y(&self) -> f64 {
+        self.points.last().map_or(f64::NAN, |&(_, y)| y)
+    }
+}
+
+/// A reproduced figure (or table/claim) from the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier, e.g. `fig3`.
+    pub id: String,
+    /// Title matching the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+    /// What the paper reports.
+    pub paper_claim: String,
+    /// The factor/shape this reproduction observes.
+    pub observed: String,
+    /// Whether the observed shape matches the paper's claim.
+    pub shape_holds: bool,
+}
+
+impl FigureResult {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = writeln!(out, "paper:    {}", self.paper_claim);
+        let _ = writeln!(out, "observed: {}", self.observed);
+        let _ = writeln!(
+            out,
+            "shape:    {}",
+            if self.shape_holds { "HOLDS" } else { "DIVERGES" }
+        );
+
+        // Collect the x values (assume shared across series; pad otherwise).
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .fold(Vec::new(), |mut acc, x| {
+                if !acc.iter().any(|&v: &f64| (v - x).abs() < 1e-9) {
+                    acc.push(x);
+                }
+                acc
+            });
+
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " | {:>26}", truncate(&s.label, 26));
+        }
+        let _ = writeln!(out);
+        for &x in &xs {
+            let _ = write!(out, "{x:>12.0}");
+            for s in &self.series {
+                match s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
+                {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " | {y:>23.3} ms");
+                    }
+                    None => {
+                        let _ = write!(out, " | {:>26}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_sweeps() {
+        assert_eq!(Scale::Small.max_records(), 100_000);
+        assert_eq!(Scale::Paper.max_records(), 1_000_000);
+        assert_eq!(Scale::Paper.kth_records(), 250_000);
+        assert!(!Scale::Small.sweep().is_empty());
+    }
+
+    #[test]
+    fn series_accessors() {
+        let mut s = Series::new("gpu");
+        s.push(1000.0, 0.5);
+        s.push(2000.0, 1.0);
+        assert_eq!(s.last_y(), 1.0);
+    }
+
+    #[test]
+    fn render_text_contains_everything() {
+        let mut gpu = Series::new("GPU total");
+        gpu.push(1000.0, 1.5);
+        let mut cpu = Series::new("CPU");
+        cpu.push(1000.0, 4.5);
+        let fig = FigureResult {
+            id: "fig3".into(),
+            title: "predicate".into(),
+            x_label: "records".into(),
+            y_label: "ms".into(),
+            series: vec![gpu, cpu],
+            paper_claim: "3x".into(),
+            observed: "3.0x".into(),
+            shape_holds: true,
+        };
+        let text = fig.render_text();
+        assert!(text.contains("fig3"));
+        assert!(text.contains("GPU total"));
+        assert!(text.contains("HOLDS"));
+        assert!(text.contains("1.500 ms"));
+        assert!(fig.series("CPU").is_some());
+        assert!(fig.series("nope").is_none());
+    }
+}

@@ -1,0 +1,445 @@
+//! Order statistics: `KthLargest` (Routine 4.5) and its derivatives MIN,
+//! MAX, median and percentile.
+//!
+//! The algorithm constructs the k-th largest value one bit at a time from
+//! the MSB, using an occlusion-query count per bit ("Our algorithm
+//! utilizes the binary data representation for computing the k-th largest
+//! value in time that is linear in the number of bits"). It needs no data
+//! rearrangement and its running time is independent of `k` — both
+//! properties the paper verifies experimentally (Figure 7).
+
+use crate::error::{EngineError, EngineResult};
+use crate::predicate::{comparison_pass, copy_to_depth, OcclusionMode};
+use crate::selection::{Selection, SELECTED};
+use crate::table::GpuTable;
+use gpudb_sim::{CompareFunc, Gpu, Phase, StencilOp};
+
+/// Restrict subsequent comparison passes to the selection, if any:
+/// the stencil test passes only on selected pixels and never writes.
+fn apply_selection_mask(gpu: &mut Gpu, selection: Option<&Selection>) {
+    if selection.is_some() {
+        gpu.set_stencil_func(true, CompareFunc::Equal, SELECTED, 0xFF);
+        gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Keep);
+    } else {
+        gpu.set_stencil_func(false, CompareFunc::Always, 0, 0xFF);
+    }
+}
+
+/// Number of records the k-th largest ranges over: the selection count if
+/// masked, the table's record count otherwise.
+fn domain_count(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    selection: Option<&Selection>,
+) -> EngineResult<u64> {
+    match selection {
+        Some(sel) => sel.count(gpu),
+        None => Ok(table.record_count() as u64),
+    }
+}
+
+/// Compute the k-th largest value (1-based; `k = 1` is the maximum) of a
+/// column, optionally restricted to a selection.
+///
+/// Routine 4.5: one copy-to-depth, then `b_max` comparison passes, each
+/// counting values `>= x + 2^i` with an occlusion query and fixing bit `i`
+/// of the result by the paper's Lemma 1.
+pub fn kth_largest(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    k: usize,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    let available = domain_count(gpu, table, selection)?;
+    if k == 0 || k as u64 > available {
+        return Err(EngineError::InvalidK { k, available });
+    }
+    let bits = table.column(column)?.bits;
+    copy_to_depth(gpu, table, column)?;
+    let x = bit_descent(gpu, table, k, bits, selection)?;
+    gpu.reset_state();
+    Ok(x)
+}
+
+/// The per-bit binary search of Routine 4.5, assuming the attribute is
+/// already in the depth buffer. Shared by the single and batched entry
+/// points.
+fn bit_descent(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    k: usize,
+    bits: u32,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    gpu.set_phase(Phase::Compute);
+    apply_selection_mask(gpu, selection);
+    let mut x = 0u32;
+    for i in (0..bits).rev() {
+        let m = x + (1 << i);
+        // Count values >= m among the (selected) records.
+        // Synchronous fetch: bit i+1's threshold depends on this count.
+        let count = comparison_pass(gpu, table, CompareFunc::GreaterEqual, m, OcclusionMode::Sync)?;
+        if count > (k - 1) as u64 {
+            x = m;
+        }
+        // Re-arm the selection mask (comparison_pass leaves stencil state
+        // untouched, but keep the invariant explicit).
+        apply_selection_mask(gpu, selection);
+    }
+    Ok(x)
+}
+
+/// Compute several order statistics of the same column with a single
+/// `CopyToDepth`: the bit descents never write depth, so the copied
+/// attribute survives across them. For `q` quantiles this saves `q - 1`
+/// copy passes — the same amortization that makes `compare_many` cheap.
+pub fn kth_largest_many(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    ks: &[usize],
+    selection: Option<&Selection>,
+) -> EngineResult<Vec<u32>> {
+    let available = domain_count(gpu, table, selection)?;
+    for &k in ks {
+        if k == 0 || k as u64 > available {
+            return Err(EngineError::InvalidK { k, available });
+        }
+    }
+    let bits = table.column(column)?.bits;
+    copy_to_depth(gpu, table, column)?;
+    let mut out = Vec::with_capacity(ks.len());
+    for &k in ks {
+        out.push(bit_descent(gpu, table, k, bits, selection)?);
+    }
+    gpu.reset_state();
+    Ok(out)
+}
+
+/// The k-th smallest value (1-based), via the rank identity
+/// `kth_smallest(k) = kth_largest(n + 1 - k)` over the (selected) domain.
+pub fn kth_smallest(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    k: usize,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    let available = domain_count(gpu, table, selection)?;
+    if k == 0 || k as u64 > available {
+        return Err(EngineError::InvalidK { k, available });
+    }
+    kth_largest(gpu, table, column, (available as usize) + 1 - k, selection)
+}
+
+/// MAX: the 1st largest (§4.3.2 — "The query to find the minimum or
+/// maximum value of an attribute is a special case of the kth largest
+/// number").
+pub fn max(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    kth_largest(gpu, table, column, 1, selection)
+}
+
+/// MIN: the 1st smallest.
+pub fn min(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    kth_smallest(gpu, table, column, 1, selection)
+}
+
+/// The (lower) median: the ⌈n/2⌉-th smallest value.
+pub fn median(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    let available = domain_count(gpu, table, selection)?;
+    if available == 0 {
+        return Err(EngineError::EmptyInput);
+    }
+    kth_smallest(
+        gpu,
+        table,
+        column,
+        (available as usize).div_ceil(2),
+        selection,
+    )
+}
+
+/// Select the top-k records of a column: find the k-th largest value with
+/// the bit descent, then materialize `attribute >= v_k` as a selection —
+/// one extra comparison pass. With duplicates at the threshold the
+/// selection may exceed `k` records (ties are all included); the returned
+/// count reports the actual size.
+pub fn top_k_select(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    k: usize,
+) -> EngineResult<(crate::selection::Selection, u64)> {
+    let threshold = kth_largest(gpu, table, column, k, None)?;
+    crate::predicate::compare_select(gpu, table, column, CompareFunc::GreaterEqual, threshold)
+}
+
+/// The p-th percentile (0.0–1.0) by nearest rank.
+pub fn percentile(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    p: f64,
+    selection: Option<&Selection>,
+) -> EngineResult<u32> {
+    let available = domain_count(gpu, table, selection)?;
+    if available == 0 {
+        return Err(EngineError::EmptyInput);
+    }
+    let rank = ((p.clamp(0.0, 1.0) * available as f64).ceil() as usize).clamp(1, available as usize);
+    kth_smallest(gpu, table, column, rank, selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::compare_select;
+
+    fn setup(values: &[u32]) -> (Gpu, GpuTable) {
+        let mut gpu = GpuTable::device_for(values.len(), 8);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", values)]).unwrap();
+        (gpu, t)
+    }
+
+    fn reference_kth_largest(values: &[u32], k: usize) -> u32 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        sorted[sorted.len() - k]
+    }
+
+    #[test]
+    fn kth_largest_matches_sort_reference() {
+        let values: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(2654435761) % 5000).collect();
+        let (mut gpu, t) = setup(&values);
+        for k in [1usize, 2, 7, 100, 199, 200] {
+            assert_eq!(
+                kth_largest(&mut gpu, &t, 0, k, None).unwrap(),
+                reference_kth_largest(&values, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let values = vec![7u32, 7, 7, 3, 3, 9];
+        let (mut gpu, t) = setup(&values);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 1, None).unwrap(), 9);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 2, None).unwrap(), 7);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 4, None).unwrap(), 7);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 5, None).unwrap(), 3);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 6, None).unwrap(), 3);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let values = vec![1u32, 2, 3];
+        let (mut gpu, t) = setup(&values);
+        assert!(matches!(
+            kth_largest(&mut gpu, &t, 0, 0, None).unwrap_err(),
+            EngineError::InvalidK { k: 0, available: 3 }
+        ));
+        assert!(matches!(
+            kth_largest(&mut gpu, &t, 0, 4, None).unwrap_err(),
+            EngineError::InvalidK { k: 4, available: 3 }
+        ));
+    }
+
+    #[test]
+    fn min_max_median() {
+        let values = vec![42u32, 17, 99, 3, 64, 17, 80, 5, 21];
+        let (mut gpu, t) = setup(&values);
+        assert_eq!(max(&mut gpu, &t, 0, None).unwrap(), 99);
+        assert_eq!(min(&mut gpu, &t, 0, None).unwrap(), 3);
+        // 9 values, lower median = 5th smallest = 21.
+        assert_eq!(median(&mut gpu, &t, 0, None).unwrap(), 21);
+    }
+
+    #[test]
+    fn kth_smallest_is_dual() {
+        let values: Vec<u32> = (0..50u32).map(|i| (i * 31) % 97).collect();
+        let (mut gpu, t) = setup(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for k in [1usize, 5, 25, 50] {
+            assert_eq!(
+                kth_smallest(&mut gpu, &t, 0, k, None).unwrap(),
+                sorted[k - 1],
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let values: Vec<u32> = (1..=100).collect();
+        let (mut gpu, t) = setup(&values);
+        assert_eq!(percentile(&mut gpu, &t, 0, 0.0, None).unwrap(), 1);
+        assert_eq!(percentile(&mut gpu, &t, 0, 0.5, None).unwrap(), 50);
+        assert_eq!(percentile(&mut gpu, &t, 0, 1.0, None).unwrap(), 100);
+    }
+
+    #[test]
+    fn masked_kth_largest_ignores_unselected() {
+        // The paper's §5.9 Test 3: KthLargest over an 80%-selectivity
+        // subset. Select values < 60, then take order statistics within.
+        let values: Vec<u32> = (0..100).collect();
+        let (mut gpu, t) = setup(&values);
+        let (sel, count) =
+            compare_select(&mut gpu, &t, 0, CompareFunc::Less, 60).unwrap();
+        assert_eq!(count, 60);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 1, Some(&sel)).unwrap(), 59);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 60, Some(&sel)).unwrap(), 0);
+        assert_eq!(median(&mut gpu, &t, 0, Some(&sel)).unwrap(), 29);
+        assert!(matches!(
+            kth_largest(&mut gpu, &t, 0, 61, Some(&sel)).unwrap_err(),
+            EngineError::InvalidK { k: 61, available: 60 }
+        ));
+    }
+
+    #[test]
+    fn pass_count_is_independent_of_k() {
+        // Figure 7's flat line: the bit-descent always runs b_max passes.
+        let values: Vec<u32> = (0..128).collect(); // 7 bits
+        let (mut gpu, t) = setup(&values);
+        let mut draws = Vec::new();
+        for k in [1usize, 30, 128] {
+            gpu.reset_stats();
+            kth_largest(&mut gpu, &t, 0, k, None).unwrap();
+            draws.push(gpu.stats().draw_calls);
+        }
+        assert_eq!(draws[0], draws[1]);
+        assert_eq!(draws[1], draws[2]);
+    }
+
+    #[test]
+    fn masked_run_costs_same_as_unmasked() {
+        // §5.9 Test 3: "KthLargest with 80% selectivity requires exactly
+        // the same amount of time as performing KthLargest with 100%
+        // selectivity" — same passes, same fragments.
+        let values: Vec<u32> = (0..100).collect();
+        let (mut gpu, t) = setup(&values);
+        let (sel, _) = compare_select(&mut gpu, &t, 0, CompareFunc::Less, 80).unwrap();
+
+        gpu.reset_stats();
+        kth_largest(&mut gpu, &t, 0, 10, None).unwrap();
+        let unmasked_fragments = gpu.stats().fragments_generated;
+
+        gpu.reset_stats();
+        // Note: the masked call runs one extra counting pass for `available`.
+        kth_largest(&mut gpu, &t, 0, 10, Some(&sel)).unwrap();
+        let masked_fragments = gpu.stats().fragments_generated;
+        let per_pass = values.len() as u64;
+        assert_eq!(masked_fragments, unmasked_fragments + per_pass);
+    }
+
+    #[test]
+    fn batched_kth_shares_one_copy() {
+        let values: Vec<u32> = (0..200u32).map(|i| (i * 37) % 512).collect();
+        let (mut gpu, t) = setup(&values);
+        let ks = [1usize, 20, 100, 200];
+
+        gpu.reset_stats();
+        let batched = kth_largest_many(&mut gpu, &t, 0, &ks, None).unwrap();
+        let batched_shaded = gpu.stats().fragments_shaded;
+
+        let mut singles = Vec::new();
+        gpu.reset_stats();
+        for &k in &ks {
+            singles.push(kth_largest(&mut gpu, &t, 0, k, None).unwrap());
+        }
+        let single_shaded = gpu.stats().fragments_shaded;
+
+        assert_eq!(batched, singles);
+        // One copy instead of four.
+        assert_eq!(batched_shaded, 200);
+        assert_eq!(single_shaded, 200 * 4);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (&k, &v) in ks.iter().zip(&batched) {
+            assert_eq!(v, sorted[sorted.len() - k], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn batched_kth_validates_all_ranks_first() {
+        let values: Vec<u32> = (0..10).collect();
+        let (mut gpu, t) = setup(&values);
+        assert!(matches!(
+            kth_largest_many(&mut gpu, &t, 0, &[1, 11], None).unwrap_err(),
+            EngineError::InvalidK { k: 11, .. }
+        ));
+        assert!(kth_largest_many(&mut gpu, &t, 0, &[], None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn top_k_selects_largest_records() {
+        let values: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761) % 10_000).collect();
+        let (mut gpu, t) = setup(&values);
+        let (sel, count) = top_k_select(&mut gpu, &t, 0, 10).unwrap();
+        assert_eq!(count, 10, "distinct values: exactly k records");
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let threshold = sorted[sorted.len() - 10];
+        let indices = sel.read_indices(&mut gpu);
+        assert_eq!(indices.len(), 10);
+        for i in indices {
+            assert!(values[i] >= threshold, "record {i} below the top-10 threshold");
+        }
+    }
+
+    #[test]
+    fn top_k_includes_ties() {
+        let values = vec![5u32, 9, 9, 9, 1];
+        let (mut gpu, t) = setup(&values);
+        // k = 2, but three records tie at 9: all included.
+        let (_, count) = top_k_select(&mut gpu, &t, 0, 2).unwrap();
+        assert_eq!(count, 3);
+        assert!(matches!(
+            top_k_select(&mut gpu, &t, 0, 6).unwrap_err(),
+            EngineError::InvalidK { .. }
+        ));
+    }
+
+    #[test]
+    fn single_value_column() {
+        let values = vec![13u32];
+        let (mut gpu, t) = setup(&values);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 1, None).unwrap(), 13);
+        assert_eq!(median(&mut gpu, &t, 0, None).unwrap(), 13);
+    }
+
+    #[test]
+    fn zero_valued_column() {
+        let values = vec![0u32; 5];
+        let (mut gpu, t) = setup(&values);
+        assert_eq!(kth_largest(&mut gpu, &t, 0, 3, None).unwrap(), 0);
+        assert_eq!(max(&mut gpu, &t, 0, None).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_median_errors() {
+        let (mut gpu, t) = setup(&[]);
+        assert!(matches!(
+            median(&mut gpu, &t, 0, None).unwrap_err(),
+            EngineError::EmptyInput
+        ));
+    }
+}

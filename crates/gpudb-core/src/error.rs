@@ -1,0 +1,136 @@
+//! Error types for the database engine layer.
+
+use gpudb_sim::GpuError;
+use std::fmt;
+
+/// Errors raised by the GPU database operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An underlying device error.
+    Gpu(GpuError),
+    /// A referenced column name does not exist in the table.
+    ColumnNotFound(String),
+    /// A column index was out of range.
+    ColumnIndexOutOfRange(usize),
+    /// Table upload received columns of differing lengths.
+    MismatchedColumnLengths,
+    /// An attribute value exceeds the 24-bit GPU encoding (§3.3 of the
+    /// paper: floats "can precisely represent integers up to 24 bits").
+    AttributeTooWide {
+        /// Offending column name.
+        column: String,
+        /// Bits required by the widest value.
+        bits: u32,
+    },
+    /// The device framebuffer cannot hold the table's record grid.
+    FramebufferTooSmall {
+        /// Rows needed for the record count at the table width.
+        needed: usize,
+        /// Rows available on the device.
+        available: usize,
+    },
+    /// An operation that requires records was applied to an empty table or
+    /// empty selection.
+    EmptyInput,
+    /// `k` was zero or exceeded the number of (selected) records.
+    InvalidK {
+        /// Requested rank.
+        k: usize,
+        /// Records available.
+        available: u64,
+    },
+    /// A semi-linear query referenced more attributes than supported.
+    TooManyAttributes(usize),
+    /// A query referenced a table that is not loaded.
+    TableNotFound(String),
+    /// A malformed query (planner/executor-level validation).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Gpu(e) => write!(f, "device error: {e}"),
+            EngineError::ColumnNotFound(name) => write!(f, "column {name:?} not found"),
+            EngineError::ColumnIndexOutOfRange(i) => write!(f, "column index {i} out of range"),
+            EngineError::MismatchedColumnLengths => write!(f, "columns have differing lengths"),
+            EngineError::AttributeTooWide { column, bits } => write!(
+                f,
+                "column {column:?} needs {bits} bits; the GPU encoding holds at most 24"
+            ),
+            EngineError::FramebufferTooSmall { needed, available } => write!(
+                f,
+                "framebuffer too small: need {needed} rows, have {available}"
+            ),
+            EngineError::EmptyInput => write!(f, "operation requires at least one record"),
+            EngineError::InvalidK { k, available } => {
+                write!(f, "k = {k} out of range for {available} records")
+            }
+            EngineError::TooManyAttributes(n) => {
+                write!(f, "semi-linear query over {n} attributes unsupported (max 8)")
+            }
+            EngineError::TableNotFound(name) => write!(f, "table {name:?} not found"),
+            EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for EngineError {
+    fn from(e: GpuError) -> Self {
+        EngineError::Gpu(e)
+    }
+}
+
+/// Convenience alias for engine results.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(EngineError, &str)> = vec![
+            (EngineError::ColumnNotFound("x".into()), "x"),
+            (EngineError::ColumnIndexOutOfRange(7), "7"),
+            (
+                EngineError::AttributeTooWide {
+                    column: "big".into(),
+                    bits: 30,
+                },
+                "30",
+            ),
+            (
+                EngineError::FramebufferTooSmall {
+                    needed: 100,
+                    available: 10,
+                },
+                "100",
+            ),
+            (EngineError::InvalidK { k: 5, available: 3 }, "5"),
+            (EngineError::TableNotFound("t".into()), "t"),
+        ];
+        for (err, fragment) in cases {
+            assert!(
+                err.to_string().contains(fragment),
+                "{err} missing {fragment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_error_wraps_with_source() {
+        let e = EngineError::from(GpuError::InvalidTexture(3));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("device error"));
+    }
+}

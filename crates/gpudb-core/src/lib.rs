@@ -1,0 +1,75 @@
+//! # gpudb-core — database operations on a (simulated) GPU
+//!
+//! The primary contribution of Govindaraju, Lloyd, Wang, Lin & Manocha,
+//! *Fast Computation of Database Operations using Graphics Processors*
+//! (SIGMOD 2004), implemented on the `gpudb-sim` substrate:
+//!
+//! * [`table`] — relations as textures (attributes packed in channels);
+//! * [`predicate`] — `Compare` / `CopyToDepth` (Routine 4.1);
+//! * [`semilinear`] — `Semilinear` dot-product queries (Routine 4.2);
+//! * [`boolean`] — `EvalCNF` with the 3-value stencil encoding
+//!   (Routine 4.3);
+//! * [`range`] — single-pass range queries via the depth-bounds test
+//!   (Routine 4.4);
+//! * [`aggregate`] — COUNT (occlusion queries), `KthLargest`
+//!   (Routine 4.5), the bitwise `Accumulator` (Routine 4.6), and the
+//!   rejected mipmap-SUM alternative;
+//! * [`selection`] — the stencil buffer as a composable record mask;
+//! * [`out_of_core`] — chunked execution for tables larger than video
+//!   memory (§6.1);
+//! * [`olap`] — histograms and GROUP BY roll-ups built from the paper's
+//!   primitives (the §7 OLAP future work);
+//! * [`stream`] — sliding-window continuous queries (§7: "continuous
+//!   queries over streams");
+//! * [`timing`] — per-operation modeled timing breakdowns matching the
+//!   paper's "with copy" / "computation only" split.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpudb_core::table::GpuTable;
+//! use gpudb_core::predicate::compare_select;
+//! use gpudb_core::aggregate;
+//! use gpudb_sim::CompareFunc;
+//!
+//! let flows: Vec<u32> = (0..1000).map(|i| (i * 37) % 4096).collect();
+//! let mut gpu = GpuTable::device_for(flows.len(), 100);
+//! let table = GpuTable::upload(&mut gpu, "flows", &[("rate", &flows)]).unwrap();
+//!
+//! // SELECT COUNT(*) FROM flows WHERE rate >= 2048
+//! let (sel, count) = compare_select(&mut gpu, &table, 0,
+//!     CompareFunc::GreaterEqual, 2048).unwrap();
+//! assert_eq!(count, flows.iter().filter(|&&v| v >= 2048).count() as u64);
+//!
+//! // SELECT MAX(rate) FROM flows WHERE rate >= 2048
+//! let max = aggregate::max(&mut gpu, &table, 0, Some(&sel)).unwrap();
+//! assert_eq!(max, *flows.iter().filter(|&&v| v >= 2048).max().unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aggregate;
+pub mod boolean;
+pub mod error;
+pub mod olap;
+pub mod ops;
+pub mod out_of_core;
+pub mod predicate;
+pub mod query;
+pub mod range;
+pub mod selection;
+pub mod semilinear;
+pub mod sort;
+pub mod stream;
+pub mod table;
+pub mod timing;
+
+pub use boolean::{GpuClause, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+pub use error::{EngineError, EngineResult};
+pub use selection::Selection;
+pub use table::GpuTable;
+pub use timing::OpTiming;
+
+// Re-export the device-facing types users need alongside this crate.
+pub use gpudb_sim::{CompareFunc, Gpu};

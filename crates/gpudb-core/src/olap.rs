@@ -1,0 +1,516 @@
+//! OLAP primitives — the paper's §7 future work: "OLAP and data mining
+//! tasks such as data cube roll up and drill-down [...] may benefit from
+//! multiple fragment processors and vector processing capabilities."
+//!
+//! Built entirely from the paper's own primitives:
+//!
+//! * [`histogram`] — one `CopyToDepth`, then one depth-bounds pass per
+//!   bucket with an asynchronous occlusion count: a b-bucket histogram
+//!   costs `1 copy + b` fixed-function passes;
+//! * [`group_by_count`] / [`group_by_aggregate`] — roll-up over a
+//!   low-cardinality dimension: each group value is one `Equal`
+//!   comparison pass (COUNT) or one stencil selection feeding the masked
+//!   aggregates (SUM/AVG/MIN/MAX).
+
+use crate::aggregate;
+use crate::error::{EngineError, EngineResult};
+use crate::ops::encode_depth_f64;
+use crate::predicate::{comparison_pass, compare_select, copy_to_depth, OcclusionMode};
+use crate::query::executor::AggValue;
+use crate::table::GpuTable;
+use gpudb_sim::state::ColorMask;
+use gpudb_sim::{CompareFunc, Gpu, Phase};
+
+/// A histogram bucket: inclusive value range and its record count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Inclusive lower edge.
+    pub low: u32,
+    /// Inclusive upper edge.
+    pub high: u32,
+    /// Records falling in `[low, high]`.
+    pub count: u64,
+}
+
+/// Equi-width bucket edges over `[min, max]`.
+pub fn equi_width_edges(min: u32, max: u32, buckets: usize) -> Vec<(u32, u32)> {
+    assert!(buckets > 0, "need at least one bucket");
+    let min = min.min(max);
+    let span = (max - min) as u64 + 1;
+    let width = span.div_ceil(buckets as u64).max(1);
+    let mut edges = Vec::with_capacity(buckets);
+    let mut low = min as u64;
+    for _ in 0..buckets {
+        if low > max as u64 {
+            break;
+        }
+        let high = (low + width - 1).min(max as u64);
+        edges.push((low as u32, high as u32));
+        low = high + 1;
+    }
+    edges
+}
+
+/// Build a histogram over explicit inclusive bucket edges: one attribute
+/// copy, then one depth-bounds occlusion pass per bucket.
+pub fn histogram(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    edges: &[(u32, u32)],
+) -> EngineResult<Vec<Bucket>> {
+    copy_to_depth(gpu, table, column)?;
+    gpu.set_phase(Phase::Compute);
+    gpu.set_color_mask(ColorMask::NONE);
+    gpu.set_depth_test(false, CompareFunc::Always);
+    gpu.set_depth_write(false);
+
+    let mut buckets = Vec::with_capacity(edges.len());
+    for &(low, high) in edges {
+        gpu.set_depth_bounds(true, encode_depth_f64(low), encode_depth_f64(high));
+        gpu.begin_occlusion_query()?;
+        gpu.draw_quad(table.rects(), 0.0)?;
+        let count = gpu.end_occlusion_query_async()?;
+        buckets.push(Bucket { low, high, count });
+    }
+    gpu.reset_state();
+    Ok(buckets)
+}
+
+/// Equi-width histogram between the column's min and max (found with the
+/// bit-descent order statistics first).
+pub fn equi_width_histogram(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    buckets: usize,
+) -> EngineResult<Vec<Bucket>> {
+    if table.record_count() == 0 {
+        return Err(EngineError::EmptyInput);
+    }
+    let min = aggregate::min(gpu, table, column, None)?;
+    let max = aggregate::max(gpu, table, column, None)?;
+    histogram(gpu, table, column, &equi_width_edges(min, max, buckets))
+}
+
+/// Maximum dimension cardinality accepted by the group-by roll-ups (each
+/// group is at least one rendering pass).
+pub const MAX_GROUPS: usize = 1024;
+
+/// GROUP BY `dimension` → COUNT(*): one copy, then one `Equal` comparison
+/// pass per distinct dimension value in `[min, max]`. Values with zero
+/// count are omitted.
+pub fn group_by_count(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    dimension: usize,
+) -> EngineResult<Vec<(u32, u64)>> {
+    if table.record_count() == 0 {
+        return Ok(Vec::new());
+    }
+    let min = aggregate::min(gpu, table, dimension, None)?;
+    let max = aggregate::max(gpu, table, dimension, None)?;
+    let cardinality = (max - min) as usize + 1;
+    if cardinality > MAX_GROUPS {
+        return Err(EngineError::InvalidQuery(format!(
+            "dimension spans {cardinality} values (max {MAX_GROUPS}) — group-by \
+             roll-up needs a low-cardinality dimension"
+        )));
+    }
+
+    copy_to_depth(gpu, table, dimension)?;
+    let mut groups = Vec::new();
+    for value in min..=max {
+        let count = comparison_pass(
+            gpu,
+            table,
+            CompareFunc::Equal,
+            value,
+            OcclusionMode::Async,
+        )?;
+        if count > 0 {
+            groups.push((value, count));
+        }
+    }
+    gpu.reset_state();
+    Ok(groups)
+}
+
+/// Estimate the size of the equi-join `R.a = S.b` from per-bucket counts —
+/// the application §5.11 motivates: "several algorithms have been designed
+/// to implement join operations efficiently using selectivity estimation.
+/// We compute the selectivity of a query using the COUNT algorithm."
+///
+/// Both columns are histogrammed on the device over a shared bucketing of
+/// their combined domain; the classic uniform-within-bucket estimator then
+/// gives `Σ_b r_b · s_b / width_b`. Estimation quality follows the usual
+/// histogram trade-off (more buckets → more passes → better estimate).
+pub fn estimate_equijoin_size(
+    gpu: &mut Gpu,
+    left: &GpuTable,
+    left_column: usize,
+    right: &GpuTable,
+    right_column: usize,
+    buckets: usize,
+) -> EngineResult<f64> {
+    if left.record_count() == 0 || right.record_count() == 0 {
+        return Ok(0.0);
+    }
+    // Shared bucketing over the union of both domains.
+    let l_min = aggregate::min(gpu, left, left_column, None)?;
+    let l_max = aggregate::max(gpu, left, left_column, None)?;
+    let r_min = aggregate::min(gpu, right, right_column, None)?;
+    let r_max = aggregate::max(gpu, right, right_column, None)?;
+    let edges = equi_width_edges(l_min.min(r_min), l_max.max(r_max), buckets);
+
+    let l_hist = histogram(gpu, left, left_column, &edges)?;
+    let r_hist = histogram(gpu, right, right_column, &edges)?;
+
+    let mut estimate = 0.0f64;
+    for (lb, rb) in l_hist.iter().zip(&r_hist) {
+        debug_assert_eq!((lb.low, lb.high), (rb.low, rb.high));
+        let width = (lb.high - lb.low) as f64 + 1.0;
+        estimate += lb.count as f64 * rb.count as f64 / width;
+    }
+    Ok(estimate)
+}
+
+/// Aggregation applied per group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupAggregate {
+    /// COUNT(*) per group.
+    Count,
+    /// SUM(measure) per group.
+    Sum,
+    /// AVG(measure) per group.
+    Avg,
+    /// MIN(measure) per group.
+    Min,
+    /// MAX(measure) per group.
+    Max,
+}
+
+/// GROUP BY `dimension` → `agg(measure)`: the data-cube roll-up. Each
+/// group builds a stencil selection (`dimension == value`) and runs the
+/// masked aggregate over it.
+pub fn group_by_aggregate(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    dimension: usize,
+    measure: usize,
+    agg: GroupAggregate,
+) -> EngineResult<Vec<(u32, AggValue)>> {
+    if agg == GroupAggregate::Count {
+        return Ok(group_by_count(gpu, table, dimension)?
+            .into_iter()
+            .map(|(v, c)| (v, AggValue::Count(c)))
+            .collect());
+    }
+    table.column(measure)?;
+    let groups = group_by_count(gpu, table, dimension)?;
+    let mut out = Vec::with_capacity(groups.len());
+    for (value, _count) in groups {
+        let (selection, _) =
+            compare_select(gpu, table, dimension, CompareFunc::Equal, value)?;
+        let result = match agg {
+            GroupAggregate::Sum => {
+                AggValue::Sum(aggregate::sum(gpu, table, measure, Some(&selection))?)
+            }
+            GroupAggregate::Avg => {
+                AggValue::Avg(aggregate::avg(gpu, table, measure, Some(&selection))?)
+            }
+            GroupAggregate::Min => {
+                AggValue::Value(aggregate::min(gpu, table, measure, Some(&selection))?)
+            }
+            GroupAggregate::Max => {
+                AggValue::Value(aggregate::max(gpu, table, measure, Some(&selection))?)
+            }
+            GroupAggregate::Count => unreachable!("handled above"),
+        };
+        out.push((value, result));
+    }
+    Ok(out)
+}
+
+/// A two-dimensional GROUP BY — the "data cube roll up" of the paper's
+/// §7 future work. Every (d1, d2) cell with at least one record gets a
+/// COUNT; cells are produced by one `Equal` selection on the first
+/// dimension and per-value masked comparison passes on the second.
+///
+/// Cost: `|D1|` selections + `|D1| · |D2|` comparison passes, bounded by
+/// [`MAX_GROUPS`] total cells.
+pub fn cube_count(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    dim1: usize,
+    dim2: usize,
+) -> EngineResult<Vec<((u32, u32), u64)>> {
+    if table.record_count() == 0 {
+        return Ok(Vec::new());
+    }
+    let d1_groups = group_by_count(gpu, table, dim1)?;
+    let d2_min = aggregate::min(gpu, table, dim2, None)?;
+    let d2_max = aggregate::max(gpu, table, dim2, None)?;
+    let d2_card = (d2_max - d2_min) as usize + 1;
+    if d1_groups.len() * d2_card > MAX_GROUPS {
+        return Err(EngineError::InvalidQuery(format!(
+            "cube spans {} cells (max {MAX_GROUPS})",
+            d1_groups.len() * d2_card
+        )));
+    }
+
+    let mut cells = Vec::new();
+    for (v1, _) in d1_groups {
+        // Select dim1 == v1, then count dim2 == v2 within it: the stencil
+        // mask persists across the per-v2 comparison passes.
+        let (_selection, _) = compare_select(gpu, table, dim1, CompareFunc::Equal, v1)?;
+        copy_to_depth(gpu, table, dim2)?;
+        gpu.set_phase(Phase::Compute);
+        for v2 in d2_min..=d2_max {
+            gpu.set_stencil_func(true, CompareFunc::Equal, crate::selection::SELECTED, 0xFF);
+            gpu.set_stencil_op(
+                gpudb_sim::StencilOp::Keep,
+                gpudb_sim::StencilOp::Keep,
+                gpudb_sim::StencilOp::Keep,
+            );
+            let count =
+                comparison_pass(gpu, table, CompareFunc::Equal, v2, OcclusionMode::Async)?;
+            if count > 0 {
+                cells.push(((v1, v2), count));
+            }
+        }
+        gpu.reset_state();
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(dim: &[u32], measure: &[u32]) -> (Gpu, GpuTable) {
+        let mut gpu = GpuTable::device_for(dim.len(), 16);
+        let t = GpuTable::upload(&mut gpu, "t", &[("dim", dim), ("m", measure)]).unwrap();
+        (gpu, t)
+    }
+
+    #[test]
+    fn equi_width_edges_cover_domain() {
+        let edges = equi_width_edges(0, 99, 4);
+        assert_eq!(edges, vec![(0, 24), (25, 49), (50, 74), (75, 99)]);
+        // Degenerate single-value domain.
+        assert_eq!(equi_width_edges(7, 7, 3), vec![(7, 7)]);
+        // Narrow domain, many buckets: no empty trailing edges.
+        let edges = equi_width_edges(0, 2, 10);
+        assert_eq!(edges, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn histogram_counts_match_reference() {
+        let values: Vec<u32> = (0..500u32).map(|i| (i * 17) % 100).collect();
+        let measure = vec![0u32; 500];
+        let (mut gpu, t) = setup(&values, &measure);
+        let edges = equi_width_edges(0, 99, 5);
+        let buckets = histogram(&mut gpu, &t, 0, &edges).unwrap();
+        assert_eq!(buckets.len(), 5);
+        for b in &buckets {
+            let expected = values.iter().filter(|&&v| v >= b.low && v <= b.high).count() as u64;
+            assert_eq!(b.count, expected, "bucket [{}, {}]", b.low, b.high);
+        }
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn histogram_cost_is_one_copy_plus_one_pass_per_bucket() {
+        let values: Vec<u32> = (0..200).collect();
+        let measure = vec![0u32; 200];
+        let (mut gpu, t) = setup(&values, &measure);
+        gpu.reset_stats();
+        histogram(&mut gpu, &t, 0, &equi_width_edges(0, 199, 8)).unwrap();
+        assert_eq!(gpu.stats().draw_calls, 1 + 8);
+        assert_eq!(gpu.stats().fragments_shaded, 200, "only the copy shades");
+    }
+
+    #[test]
+    fn equi_width_histogram_end_to_end() {
+        let values: Vec<u32> = (0..300u32).map(|i| 50 + (i * 31) % 200).collect();
+        let measure = vec![0u32; 300];
+        let (mut gpu, t) = setup(&values, &measure);
+        let buckets = equi_width_histogram(&mut gpu, &t, 0, 6).unwrap();
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 300);
+        assert_eq!(buckets.first().unwrap().low, *values.iter().min().unwrap());
+        assert_eq!(buckets.last().unwrap().high, *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn group_by_count_matches_reference() {
+        let dim: Vec<u32> = (0..240u32).map(|i| 3 + i % 5).collect();
+        let measure: Vec<u32> = (0..240).collect();
+        let (mut gpu, t) = setup(&dim, &measure);
+        let groups = group_by_count(&mut gpu, &t, 0).unwrap();
+        assert_eq!(groups.len(), 5);
+        for &(value, count) in &groups {
+            let expected = dim.iter().filter(|&&v| v == value).count() as u64;
+            assert_eq!(count, expected, "group {value}");
+        }
+    }
+
+    #[test]
+    fn group_by_omits_empty_groups() {
+        let dim = vec![1u32, 1, 5, 5, 5]; // values 2,3,4 absent
+        let measure = vec![0u32; 5];
+        let (mut gpu, t) = setup(&dim, &measure);
+        let groups = group_by_count(&mut gpu, &t, 0).unwrap();
+        assert_eq!(groups, vec![(1, 2), (5, 3)]);
+    }
+
+    #[test]
+    fn group_by_aggregate_rollup() {
+        let dim: Vec<u32> = (0..60u32).map(|i| i % 3).collect();
+        let measure: Vec<u32> = (0..60u32).map(|i| i * 10).collect();
+        let (mut gpu, t) = setup(&dim, &measure);
+
+        let reference = |g: u32| -> Vec<u32> {
+            (0..60u32).filter(|i| i % 3 == g).map(|i| i * 10).collect()
+        };
+
+        let sums = group_by_aggregate(&mut gpu, &t, 0, 1, GroupAggregate::Sum).unwrap();
+        for &(g, ref v) in &sums {
+            let expected: u64 = reference(g).iter().map(|&x| x as u64).sum();
+            assert_eq!(v, &AggValue::Sum(expected), "group {g}");
+        }
+
+        let maxes = group_by_aggregate(&mut gpu, &t, 0, 1, GroupAggregate::Max).unwrap();
+        for &(g, ref v) in &maxes {
+            assert_eq!(v, &AggValue::Value(*reference(g).iter().max().unwrap()));
+        }
+
+        let mins = group_by_aggregate(&mut gpu, &t, 0, 1, GroupAggregate::Min).unwrap();
+        for &(g, ref v) in &mins {
+            assert_eq!(v, &AggValue::Value(*reference(g).iter().min().unwrap()));
+        }
+
+        let avgs = group_by_aggregate(&mut gpu, &t, 0, 1, GroupAggregate::Avg).unwrap();
+        for &(g, ref v) in &avgs {
+            let vals = reference(g);
+            let expected = vals.iter().map(|&x| x as f64).sum::<f64>() / vals.len() as f64;
+            match v {
+                AggValue::Avg(a) => assert!((a - expected).abs() < 1e-9),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        let counts = group_by_aggregate(&mut gpu, &t, 0, 1, GroupAggregate::Count).unwrap();
+        assert_eq!(counts.len(), 3);
+        assert!(counts.iter().all(|(_, v)| v == &AggValue::Count(20)));
+    }
+
+    #[test]
+    fn join_estimate_matches_host_formula() {
+        let left_vals: Vec<u32> = (0..300u32).map(|i| (i * 17) % 64).collect();
+        let right_vals: Vec<u32> = (0..200u32).map(|i| (i * 29 + 5) % 64).collect();
+        let pad = vec![0u32; 300];
+        let pad_r = vec![0u32; 200];
+        let mut gpu_l = GpuTable::device_for(300, 20);
+        let left = GpuTable::upload(&mut gpu_l, "l", &[("a", &left_vals), ("x", &pad)]).unwrap();
+        let right = GpuTable::upload(&mut gpu_l, "r", &[("b", &right_vals), ("x", &pad_r)]);
+        // Both tables must fit one device's framebuffer grid; re-upload the
+        // right table on its own device if the grid differs.
+        let right = match right {
+            Ok(r) => r,
+            Err(_) => panic!("right table upload failed"),
+        };
+
+        let est = estimate_equijoin_size(&mut gpu_l, &left, 0, &right, 0, 8).unwrap();
+
+        // Host mirror of the estimator.
+        let min = *left_vals.iter().chain(&right_vals).min().unwrap();
+        let max = *left_vals.iter().chain(&right_vals).max().unwrap();
+        let edges = equi_width_edges(min, max, 8);
+        let expected: f64 = edges
+            .iter()
+            .map(|&(lo, hi)| {
+                let l = left_vals.iter().filter(|&&v| v >= lo && v <= hi).count() as f64;
+                let r = right_vals.iter().filter(|&&v| v >= lo && v <= hi).count() as f64;
+                l * r / ((hi - lo) as f64 + 1.0)
+            })
+            .sum();
+        assert!((est - expected).abs() < 1e-9, "est {est} expected {expected}");
+
+        // Sanity: for these fairly uniform 6-bit keys the estimate is
+        // within 2x of the exact join size.
+        let exact: usize = left_vals
+            .iter()
+            .map(|&lv| right_vals.iter().filter(|&&rv| rv == lv).count())
+            .sum();
+        assert!(
+            est > exact as f64 / 2.0 && est < exact as f64 * 2.0,
+            "est {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn join_estimate_empty_inputs() {
+        let vals: Vec<u32> = (0..10).collect();
+        let empty: Vec<u32> = vec![];
+        let mut gpu = GpuTable::device_for(10, 5);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &vals)]).unwrap();
+        let e = GpuTable::upload(&mut gpu, "e", &[("a", &empty)]).unwrap();
+        assert_eq!(estimate_equijoin_size(&mut gpu, &t, 0, &e, 0, 4).unwrap(), 0.0);
+        assert_eq!(estimate_equijoin_size(&mut gpu, &e, 0, &t, 0, 4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cube_count_matches_reference() {
+        let d1: Vec<u32> = (0..120u32).map(|i| i % 3).collect();
+        let d2: Vec<u32> = (0..120u32).map(|i| 5 + (i / 3) % 4).collect();
+        let (mut gpu, t) = setup(&d1, &d2);
+        let cells = cube_count(&mut gpu, &t, 0, 1).unwrap();
+        let mut total = 0u64;
+        for &((v1, v2), count) in &cells {
+            let expected = (0..120)
+                .filter(|&i| d1[i] == v1 && d2[i] == v2)
+                .count() as u64;
+            assert_eq!(count, expected, "cell ({v1}, {v2})");
+            assert!(count > 0, "empty cells omitted");
+            total += count;
+        }
+        assert_eq!(total, 120, "cells partition the table");
+    }
+
+    #[test]
+    fn cube_rejects_oversized_grids() {
+        let d1: Vec<u32> = (0..200).collect();
+        let d2: Vec<u32> = (0..200).collect();
+        let mut gpu = GpuTable::device_for(200, 16);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &d1), ("b", &d2)]).unwrap();
+        assert!(matches!(
+            cube_count(&mut gpu, &t, 0, 1).unwrap_err(),
+            EngineError::InvalidQuery(_)
+        ));
+    }
+
+    #[test]
+    fn high_cardinality_dimension_rejected() {
+        let dim: Vec<u32> = (0..3000).collect();
+        let measure = vec![0u32; 3000];
+        let mut gpu = GpuTable::device_for(3000, 64);
+        let t = GpuTable::upload(&mut gpu, "t", &[("dim", &dim), ("m", &measure)]).unwrap();
+        assert!(matches!(
+            group_by_count(&mut gpu, &t, 0).unwrap_err(),
+            EngineError::InvalidQuery(_)
+        ));
+    }
+
+    #[test]
+    fn empty_table_olap() {
+        let (mut gpu, t) = setup(&[], &[]);
+        assert!(group_by_count(&mut gpu, &t, 0).unwrap().is_empty());
+        assert!(matches!(
+            equi_width_histogram(&mut gpu, &t, 0, 4).unwrap_err(),
+            EngineError::EmptyInput
+        ));
+    }
+}

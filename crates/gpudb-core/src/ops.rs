@@ -1,0 +1,87 @@
+//! Shared encoding helpers and operator semantics for the GPU operations.
+
+use gpudb_sim::buffers::DEPTH_SCALE;
+use gpudb_sim::CompareFunc;
+
+/// Maximum attribute bit width representable in the GPU data encoding.
+pub const ATTRIBUTE_BITS: u32 = 24;
+
+/// Largest encodable attribute value.
+pub const MAX_ATTRIBUTE: u32 = (1 << ATTRIBUTE_BITS) - 1;
+
+/// The exact f32 normalization factor `2^-24` applied by `CopyToDepth`.
+pub const DEPTH_SCALE_INV_F32: f32 = 1.0 / DEPTH_SCALE as f32;
+
+/// Encode an attribute value as a normalized depth, exactly (`v * 2^-24`
+/// is an exact f32 operation for 24-bit `v`).
+#[inline]
+pub fn encode_depth(value: u32) -> f32 {
+    debug_assert!(value <= MAX_ATTRIBUTE);
+    value as f32 * DEPTH_SCALE_INV_F32
+}
+
+/// Encode an attribute value as a normalized depth in f64 (for the
+/// depth-bounds test, which the device evaluates in f64).
+#[inline]
+pub fn encode_depth_f64(value: u32) -> f64 {
+    debug_assert!(value <= MAX_ATTRIBUTE);
+    value as f64 / DEPTH_SCALE
+}
+
+/// The depth function implementing the predicate `attribute op constant`.
+///
+/// The depth test evaluates `incoming func stored` with the *constant* as
+/// the incoming quad depth and the *attribute* in the depth buffer
+/// (Routine 4.1 renders `RenderQuad(d)` over attribute values copied by
+/// `CopyToDepth`), so the predicate's operator must be converted to its
+/// converse.
+#[inline]
+pub fn depth_func_for_predicate(op: CompareFunc) -> CompareFunc {
+    op.converse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpudb_sim::buffers::quantize_depth;
+
+    #[test]
+    fn encoding_roundtrips_exactly_for_all_widths() {
+        for v in [0u32, 1, 2, 999, (1 << 19) - 1, (1 << 23) + 1, MAX_ATTRIBUTE] {
+            assert_eq!(quantize_depth(encode_depth(v) as f64), v, "v = {v}");
+            assert_eq!(quantize_depth(encode_depth_f64(v)), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn adjacent_values_stay_distinct() {
+        // The fatal failure mode of a wrong normalization convention is two
+        // adjacent attribute values collapsing to one depth cell.
+        for base in [1u32 << 10, 1 << 19, 1 << 23, MAX_ATTRIBUTE - 1] {
+            assert_ne!(
+                quantize_depth(encode_depth(base) as f64),
+                quantize_depth(encode_depth(base + 1) as f64),
+                "collapse at {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_func_conversion_realizes_predicate() {
+        // For every operator, `attr op const` must equal
+        // `func.eval(const, attr)` with func = depth_func_for_predicate(op).
+        use CompareFunc::*;
+        for op in [Less, LessEqual, Greater, GreaterEqual, Equal, NotEqual] {
+            for attr in 0..5u32 {
+                for c in 0..5u32 {
+                    let func = depth_func_for_predicate(op);
+                    assert_eq!(
+                        op.eval(attr, c),
+                        func.eval(c, attr),
+                        "op {op:?} attr {attr} const {c}"
+                    );
+                }
+            }
+        }
+    }
+}

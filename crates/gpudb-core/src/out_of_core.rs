@@ -1,0 +1,351 @@
+//! Out-of-core execution: tables larger than the device.
+//!
+//! §6.1 of the paper ("Memory Management"): "due to the limited video
+//! memory, we may not be able to copy very large databases (with tens of
+//! millions of records) into GPU memory. In such situations, we would use
+//! out-of-core techniques and swap textures in and out of video memory."
+//!
+//! [`ChunkedTable`] implements exactly that: host-resident columns are
+//! streamed through the device one chunk at a time, paying the modeled
+//! AGP upload for every swap. Decomposable aggregates (COUNT, SUM, MIN,
+//! MAX) combine per-chunk results; `KthLargest` runs its global bit
+//! descent with one swap-in per chunk per bit — the honest cost of order
+//! statistics over data that does not fit, and a direct illustration of
+//! why the paper flags bus bandwidth as a limiting factor.
+
+use crate::aggregate;
+use crate::error::{EngineError, EngineResult};
+use crate::ops::ATTRIBUTE_BITS;
+use crate::predicate::{comparison_pass, copy_to_depth, OcclusionMode};
+use crate::range::range_count;
+use crate::table::GpuTable;
+use gpudb_sim::{CompareFunc, Gpu};
+
+/// A host-resident table processed through the device in chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkedTable<'a> {
+    name: String,
+    columns: Vec<(&'a str, &'a [u32])>,
+    chunk_records: usize,
+    record_count: usize,
+}
+
+impl<'a> ChunkedTable<'a> {
+    /// Wrap host columns with a chunk size. Columns must be equal-length
+    /// and the chunk size positive.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<(&'a str, &'a [u32])>,
+        chunk_records: usize,
+    ) -> EngineResult<ChunkedTable<'a>> {
+        if chunk_records == 0 {
+            return Err(EngineError::InvalidQuery(
+                "chunk size must be positive".to_string(),
+            ));
+        }
+        let record_count = columns.first().map_or(0, |(_, v)| v.len());
+        if columns.iter().any(|(_, v)| v.len() != record_count) {
+            return Err(EngineError::MismatchedColumnLengths);
+        }
+        Ok(ChunkedTable {
+            name: name.into(),
+            columns,
+            chunk_records,
+            record_count,
+        })
+    }
+
+    /// Total records across all chunks.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.record_count.div_ceil(self.chunk_records)
+    }
+
+    /// A device sized for one chunk at the given grid width.
+    pub fn device_for_chunks(&self, width: usize) -> Gpu {
+        GpuTable::device_for(self.chunk_records.min(self.record_count.max(1)), width)
+    }
+
+    /// Resolve a column name.
+    pub fn column_index(&self, name: &str) -> EngineResult<usize> {
+        self.columns
+            .iter()
+            .position(|(n, _)| *n == name)
+            .ok_or_else(|| EngineError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Stream one column through the device chunk by chunk: each chunk is
+    /// uploaded (costed over AGP), handed to `f`, and freed.
+    fn for_each_chunk<T>(
+        &self,
+        gpu: &mut Gpu,
+        column: usize,
+        mut f: impl FnMut(&mut Gpu, &GpuTable) -> EngineResult<T>,
+    ) -> EngineResult<Vec<T>> {
+        let (col_name, values) = self
+            .columns
+            .get(column)
+            .ok_or(EngineError::ColumnIndexOutOfRange(column))?;
+        let mut results = Vec::with_capacity(self.chunk_count());
+        for (index, chunk) in values.chunks(self.chunk_records).enumerate() {
+            let table = GpuTable::upload(
+                gpu,
+                format!("{}#{}", self.name, index),
+                &[(col_name, chunk)],
+            )?;
+            let result = f(gpu, &table);
+            table.free(gpu)?;
+            results.push(result?);
+        }
+        Ok(results)
+    }
+
+    /// COUNT of records satisfying `column op constant`, combining
+    /// per-chunk occlusion counts.
+    pub fn count(
+        &self,
+        gpu: &mut Gpu,
+        column: usize,
+        op: CompareFunc,
+        constant: u32,
+    ) -> EngineResult<u64> {
+        let counts = self.for_each_chunk(gpu, column, |gpu, table| {
+            crate::predicate::compare_count(gpu, table, 0, op, constant)
+        })?;
+        Ok(counts.into_iter().sum())
+    }
+
+    /// COUNT of records in `[low, high]`, via the depth-bounds test per
+    /// chunk.
+    pub fn range_count(
+        &self,
+        gpu: &mut Gpu,
+        column: usize,
+        low: u32,
+        high: u32,
+    ) -> EngineResult<u64> {
+        let counts = self.for_each_chunk(gpu, column, |gpu, table| {
+            range_count(gpu, table, 0, low, high)
+        })?;
+        Ok(counts.into_iter().sum())
+    }
+
+    /// Exact SUM via the per-chunk bitwise accumulator.
+    pub fn sum(&self, gpu: &mut Gpu, column: usize) -> EngineResult<u64> {
+        let sums = self.for_each_chunk(gpu, column, |gpu, table| {
+            aggregate::sum(gpu, table, 0, None)
+        })?;
+        Ok(sums.into_iter().sum())
+    }
+
+    /// Global MAX: the maximum of per-chunk maxima.
+    pub fn max(&self, gpu: &mut Gpu, column: usize) -> EngineResult<u32> {
+        if self.record_count == 0 {
+            return Err(EngineError::EmptyInput);
+        }
+        let maxima = self.for_each_chunk(gpu, column, |gpu, table| {
+            aggregate::max(gpu, table, 0, None)
+        })?;
+        Ok(maxima.into_iter().max().expect("non-empty"))
+    }
+
+    /// Global MIN: the minimum of per-chunk minima.
+    pub fn min(&self, gpu: &mut Gpu, column: usize) -> EngineResult<u32> {
+        if self.record_count == 0 {
+            return Err(EngineError::EmptyInput);
+        }
+        let minima = self.for_each_chunk(gpu, column, |gpu, table| {
+            aggregate::min(gpu, table, 0, None)
+        })?;
+        Ok(minima.into_iter().min().expect("non-empty"))
+    }
+
+    /// Global k-th largest via the bit-descent of Routine 4.5, with the
+    /// per-bit count summed across chunk swaps: `bits × chunks` uploads —
+    /// the price of order statistics out of core.
+    pub fn kth_largest(&self, gpu: &mut Gpu, column: usize, k: usize) -> EngineResult<u32> {
+        if k == 0 || k > self.record_count {
+            return Err(EngineError::InvalidK {
+                k,
+                available: self.record_count as u64,
+            });
+        }
+        let (_, values) = self
+            .columns
+            .get(column)
+            .ok_or(EngineError::ColumnIndexOutOfRange(column))?;
+        let bits = values
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| 32 - m.leading_zeros())
+            .min(ATTRIBUTE_BITS);
+
+        let mut x = 0u32;
+        for i in (0..bits).rev() {
+            let m = x + (1 << i);
+            // Count values >= m across all chunks (swap each chunk in).
+            let counts = self.for_each_chunk(gpu, column, |gpu, table| {
+                copy_to_depth(gpu, table, 0)?;
+                let c = comparison_pass(
+                    gpu,
+                    table,
+                    CompareFunc::GreaterEqual,
+                    m,
+                    OcclusionMode::Sync,
+                )?;
+                gpu.reset_state();
+                Ok(c)
+            })?;
+            let count: u64 = counts.into_iter().sum();
+            if count > (k - 1) as u64 {
+                x = m;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Global (lower) median.
+    pub fn median(&self, gpu: &mut Gpu, column: usize) -> EngineResult<u32> {
+        if self.record_count == 0 {
+            return Err(EngineError::EmptyInput);
+        }
+        let k_smallest = self.record_count.div_ceil(2);
+        self.kth_largest(gpu, column, self.record_count + 1 - k_smallest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize, chunk: usize) -> (Vec<u32>, usize) {
+        let values: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761) % (1 << 16))
+            .collect();
+        (values, chunk)
+    }
+
+    #[test]
+    fn chunked_count_matches_whole_table() {
+        let (values, chunk) = setup(10_000, 1_024);
+        let ct = ChunkedTable::new("big", vec![("a", &values)], chunk).unwrap();
+        assert_eq!(ct.chunk_count(), 10);
+        let mut gpu = ct.device_for_chunks(64);
+        let count = ct.count(&mut gpu, 0, CompareFunc::GreaterEqual, 30_000).unwrap();
+        let expected = values.iter().filter(|&&v| v >= 30_000).count() as u64;
+        assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn chunked_range_and_sum() {
+        let (values, chunk) = setup(5_000, 777); // non-divisible chunking
+        let ct = ChunkedTable::new("big", vec![("a", &values)], chunk).unwrap();
+        let mut gpu = ct.device_for_chunks(40);
+        assert_eq!(
+            ct.range_count(&mut gpu, 0, 1_000, 50_000).unwrap(),
+            values.iter().filter(|&&v| (1_000..=50_000).contains(&v)).count() as u64
+        );
+        assert_eq!(
+            ct.sum(&mut gpu, 0).unwrap(),
+            values.iter().map(|&v| v as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn chunked_min_max_median_kth() {
+        let (values, chunk) = setup(3_000, 512);
+        let ct = ChunkedTable::new("big", vec![("a", &values)], chunk).unwrap();
+        let mut gpu = ct.device_for_chunks(32);
+        assert_eq!(ct.max(&mut gpu, 0).unwrap(), *values.iter().max().unwrap());
+        assert_eq!(ct.min(&mut gpu, 0).unwrap(), *values.iter().min().unwrap());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for k in [1usize, 100, 1_500, 3_000] {
+            assert_eq!(
+                ct.kth_largest(&mut gpu, 0, k).unwrap(),
+                sorted[sorted.len() - k],
+                "k = {k}"
+            );
+        }
+        assert_eq!(
+            ct.median(&mut gpu, 0).unwrap(),
+            sorted[values.len().div_ceil(2) - 1]
+        );
+    }
+
+    #[test]
+    fn vram_stays_bounded_by_one_chunk() {
+        let (values, chunk) = setup(8_000, 1_000);
+        let ct = ChunkedTable::new("big", vec![("a", &values)], chunk).unwrap();
+        let mut gpu = ct.device_for_chunks(50);
+        // Budget: framebuffer + exactly one chunk texture.
+        gpu.set_vram_budget(gpu.vram_used() + chunk * 4 + 64);
+        // If chunks leaked, the second upload would exhaust VRAM.
+        assert!(ct.sum(&mut gpu, 0).is_ok());
+        assert!(ct.count(&mut gpu, 0, CompareFunc::Less, 100).is_ok());
+    }
+
+    #[test]
+    fn upload_cost_scales_with_swaps() {
+        let (values, _) = setup(4_096, 0);
+        let ct = ChunkedTable::new("big", vec![("a", &values)], 512).unwrap();
+        let mut gpu = ct.device_for_chunks(32);
+        gpu.reset_stats();
+        ct.count(&mut gpu, 0, CompareFunc::Less, 100).unwrap();
+        let one_pass_uploads = gpu.stats().bytes_uploaded;
+        assert_eq!(one_pass_uploads, 4_096 * 4, "each record uploaded once");
+
+        gpu.reset_stats();
+        ct.kth_largest(&mut gpu, 0, 1).unwrap();
+        // 16-bit values: 16 bit passes × full table re-upload.
+        assert_eq!(gpu.stats().bytes_uploaded, 16 * 4_096 * 4);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![1u32];
+        assert!(matches!(
+            ChunkedTable::new("t", vec![("a", &a), ("b", &b)], 2).unwrap_err(),
+            EngineError::MismatchedColumnLengths
+        ));
+        assert!(ChunkedTable::new("t", vec![("a", &a)], 0).is_err());
+
+        let ct = ChunkedTable::new("t", vec![("a", &a)], 2).unwrap();
+        let mut gpu = ct.device_for_chunks(2);
+        assert!(matches!(
+            ct.kth_largest(&mut gpu, 0, 0).unwrap_err(),
+            EngineError::InvalidK { .. }
+        ));
+        assert!(matches!(
+            ct.kth_largest(&mut gpu, 0, 4).unwrap_err(),
+            EngineError::InvalidK { .. }
+        ));
+        assert!(matches!(
+            ct.count(&mut gpu, 5, CompareFunc::Less, 1).unwrap_err(),
+            EngineError::ColumnIndexOutOfRange(5)
+        ));
+        assert!(matches!(
+            ct.column_index("zz").unwrap_err(),
+            EngineError::ColumnNotFound(_)
+        ));
+        assert_eq!(ct.column_index("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let empty: Vec<u32> = vec![];
+        let ct = ChunkedTable::new("t", vec![("a", &empty)], 4).unwrap();
+        let mut gpu = ct.device_for_chunks(4);
+        assert_eq!(ct.count(&mut gpu, 0, CompareFunc::Less, 1).unwrap(), 0);
+        assert_eq!(ct.sum(&mut gpu, 0).unwrap(), 0);
+        assert!(matches!(ct.max(&mut gpu, 0).unwrap_err(), EngineError::EmptyInput));
+        assert!(matches!(ct.median(&mut gpu, 0).unwrap_err(), EngineError::EmptyInput));
+    }
+}

@@ -1,0 +1,203 @@
+//! Query abstract syntax: the `SELECT A FROM T WHERE C` shape of §4.
+//!
+//! "A basic SQL query is in the form of SELECT A FROM T WHERE C where A
+//! may be a list of attributes or aggregations (SUM, COUNT, AVG, MIN, MAX)
+//! defined on individual attributes, and C is a boolean combination [...]
+//! of predicates that have the form `ai op aj` or `ai op constant`."
+
+use gpudb_sim::CompareFunc;
+
+/// A boolean filter expression over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// `column op constant`.
+    Pred {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CompareFunc,
+        /// Constant operand.
+        constant: u32,
+    },
+    /// `column IN (v1, v2, ...)` — a disjunction of equalities, planned
+    /// as one CNF clause of `Equal` predicates.
+    InList {
+        /// Column name.
+        column: String,
+        /// The membership set.
+        values: Vec<u32>,
+    },
+    /// `low <= column <= high` (inclusive) — plannable as a single-pass
+    /// depth-bounds range query.
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        low: u32,
+        /// Inclusive upper bound.
+        high: u32,
+    },
+    /// `left op right` over two columns (`ai op aj`), rewritten by the
+    /// planner as the semi-linear query `ai - aj op 0`.
+    CompareColumns {
+        /// Left column name.
+        left: String,
+        /// Comparison operator.
+        op: CompareFunc,
+        /// Right column name.
+        right: String,
+    },
+    /// A general semi-linear predicate `Σ c_i · column_i op b`.
+    SemiLinear {
+        /// Named coefficients.
+        terms: Vec<(String, f32)>,
+        /// Comparison operator.
+        op: CompareFunc,
+        /// Constant right-hand side.
+        constant: f32,
+    },
+    /// Logical conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Logical negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// `column op constant` convenience constructor.
+    pub fn pred(column: impl Into<String>, op: CompareFunc, constant: u32) -> BoolExpr {
+        BoolExpr::Pred {
+            column: column.into(),
+            op,
+            constant,
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> BoolExpr {
+        BoolExpr::Not(Box::new(self))
+    }
+}
+
+/// An aggregation over the selected records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)` — occlusion-query count.
+    Count,
+    /// `SUM(column)` — bitwise accumulator.
+    Sum(String),
+    /// `AVG(column)` — SUM / COUNT.
+    Avg(String),
+    /// `MIN(column)` — k-th smallest with k = 1.
+    Min(String),
+    /// `MAX(column)` — k-th largest with k = 1.
+    Max(String),
+    /// `MEDIAN(column)` — k-th smallest with k = ⌈n/2⌉.
+    Median(String),
+    /// `KTH_LARGEST(column, k)`.
+    KthLargest(String, usize),
+    /// `KTH_SMALLEST(column, k)`.
+    KthSmallest(String, usize),
+    /// `PERCENTILE(column, p)` with `p` in `[0, 1]` (nearest rank).
+    Percentile(String, f64),
+}
+
+impl Aggregate {
+    /// The column the aggregate reads, if any.
+    pub fn column(&self) -> Option<&str> {
+        match self {
+            Aggregate::Count => None,
+            Aggregate::Sum(c)
+            | Aggregate::Avg(c)
+            | Aggregate::Min(c)
+            | Aggregate::Max(c)
+            | Aggregate::Median(c)
+            | Aggregate::KthLargest(c, _)
+            | Aggregate::KthSmallest(c, _)
+            | Aggregate::Percentile(c, _) => Some(c),
+        }
+    }
+
+    /// Human-readable label for result rows.
+    pub fn label(&self) -> String {
+        match self {
+            Aggregate::Count => "COUNT(*)".to_string(),
+            Aggregate::Sum(c) => format!("SUM({c})"),
+            Aggregate::Avg(c) => format!("AVG({c})"),
+            Aggregate::Min(c) => format!("MIN({c})"),
+            Aggregate::Max(c) => format!("MAX({c})"),
+            Aggregate::Median(c) => format!("MEDIAN({c})"),
+            Aggregate::KthLargest(c, k) => format!("KTH_LARGEST({c}, {k})"),
+            Aggregate::KthSmallest(c, k) => format!("KTH_SMALLEST({c}, {k})"),
+            Aggregate::Percentile(c, p) => format!("PERCENTILE({c}, {p})"),
+        }
+    }
+}
+
+/// A complete query: aggregates over an optionally filtered table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The SELECT list.
+    pub aggregates: Vec<Aggregate>,
+    /// The WHERE clause, if any.
+    pub filter: Option<BoolExpr>,
+}
+
+impl Query {
+    /// A query with no filter.
+    pub fn aggregate_all(aggregates: Vec<Aggregate>) -> Query {
+        Query {
+            aggregates,
+            filter: None,
+        }
+    }
+
+    /// A query with a filter.
+    pub fn filtered(aggregates: Vec<Aggregate>, filter: BoolExpr) -> Query {
+        Query {
+            aggregates,
+            filter: Some(filter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpudb_sim::CompareFunc::*;
+
+    #[test]
+    fn builder_combinators() {
+        let e = BoolExpr::pred("a", Less, 10)
+            .and(BoolExpr::pred("b", GreaterEqual, 5))
+            .or(BoolExpr::pred("c", Equal, 1).not());
+        match e {
+            BoolExpr::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, BoolExpr::And(_, _)));
+                assert!(matches!(*rhs, BoolExpr::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_labels_and_columns() {
+        assert_eq!(Aggregate::Count.label(), "COUNT(*)");
+        assert_eq!(Aggregate::Count.column(), None);
+        assert_eq!(Aggregate::Sum("x".into()).label(), "SUM(x)");
+        assert_eq!(Aggregate::KthLargest("y".into(), 3).label(), "KTH_LARGEST(y, 3)");
+        assert_eq!(Aggregate::Median("m".into()).column(), Some("m"));
+    }
+}

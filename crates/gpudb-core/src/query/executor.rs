@@ -1,0 +1,436 @@
+//! Query execution: run a plan against a table on the device.
+
+use crate::aggregate;
+use crate::boolean::{eval_cnf_select, eval_dnf_select};
+use crate::error::{EngineError, EngineResult};
+use crate::query::ast::{Aggregate, Query};
+use crate::query::planner::{plan_selection, SelectionPlan};
+use crate::range::range_select;
+use crate::selection::Selection;
+use crate::semilinear::semilinear_select;
+use crate::table::GpuTable;
+use crate::timing::{measure, OpTiming};
+use gpudb_sim::Gpu;
+
+/// One aggregate's result value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggValue {
+    /// Integral count.
+    Count(u64),
+    /// Exact sum.
+    Sum(u64),
+    /// Average.
+    Avg(f64),
+    /// An attribute value (MIN/MAX/MEDIAN/k-th).
+    Value(u32),
+}
+
+/// The result of executing a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Number of records matching the filter.
+    pub matched: u64,
+    /// Selectivity of the filter in `[0, 1]`.
+    pub selectivity: f64,
+    /// `(label, value)` pairs in SELECT-list order.
+    pub rows: Vec<(String, AggValue)>,
+    /// Modeled device timing for the whole query.
+    pub timing: OpTiming,
+}
+
+/// Execute the selection plan, returning the selection (None = all
+/// records) and the match count.
+fn execute_selection(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    plan: &SelectionPlan,
+) -> EngineResult<(Option<Selection>, u64)> {
+    match plan {
+        SelectionPlan::All => Ok((None, table.record_count() as u64)),
+        SelectionPlan::Range { column, low, high } => {
+            let (sel, count) = range_select(gpu, table, *column, *low, *high)?;
+            Ok((Some(sel), count))
+        }
+        SelectionPlan::Cnf(cnf) => {
+            let (sel, count) = eval_cnf_select(gpu, table, cnf)?;
+            Ok((Some(sel), count))
+        }
+        SelectionPlan::Dnf(dnf) => {
+            let (sel, count) = eval_dnf_select(gpu, table, dnf)?;
+            Ok((Some(sel), count))
+        }
+        SelectionPlan::SemiLinear {
+            coefficients,
+            op,
+            constant,
+        } => {
+            let (sel, count) = semilinear_select(gpu, table, coefficients, *op, *constant)?;
+            Ok((Some(sel), count))
+        }
+    }
+}
+
+/// Execute a query against a table.
+pub fn execute(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<QueryOutput> {
+    let plan = plan_selection(table, query.filter.as_ref())?;
+    let (result, timing) = measure(gpu, |gpu| -> EngineResult<_> {
+        let (selection, matched) = execute_selection(gpu, table, &plan)?;
+        let sel_ref = selection.as_ref();
+        let mut rows = Vec::with_capacity(query.aggregates.len());
+        for agg in &query.aggregates {
+            let value = match agg {
+                Aggregate::Count => AggValue::Count(matched),
+                Aggregate::Sum(col) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Sum(aggregate::sum(gpu, table, idx, sel_ref)?)
+                }
+                Aggregate::Avg(col) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Avg(aggregate::avg(gpu, table, idx, sel_ref)?)
+                }
+                Aggregate::Min(col) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Value(aggregate::min(gpu, table, idx, sel_ref)?)
+                }
+                Aggregate::Max(col) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Value(aggregate::max(gpu, table, idx, sel_ref)?)
+                }
+                Aggregate::Median(col) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Value(aggregate::median(gpu, table, idx, sel_ref)?)
+                }
+                Aggregate::KthLargest(col, k) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Value(aggregate::kth_largest(gpu, table, idx, *k, sel_ref)?)
+                }
+                Aggregate::KthSmallest(col, k) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Value(aggregate::kth_smallest(gpu, table, idx, *k, sel_ref)?)
+                }
+                Aggregate::Percentile(col, p) => {
+                    let idx = table.column_index(col)?;
+                    AggValue::Value(aggregate::percentile(gpu, table, idx, *p, sel_ref)?)
+                }
+            };
+            rows.push((agg.label(), value));
+        }
+        Ok((matched, rows))
+    });
+    let (matched, rows) = result?;
+    let selectivity = if table.record_count() == 0 {
+        0.0
+    } else {
+        matched as f64 / table.record_count() as f64
+    };
+    Ok(QueryOutput {
+        matched,
+        selectivity,
+        rows,
+        timing,
+    })
+}
+
+/// Convenience: execute and return the single aggregate value of a
+/// one-item SELECT list.
+pub fn execute_scalar(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<AggValue> {
+    if query.aggregates.len() != 1 {
+        return Err(EngineError::InvalidQuery(format!(
+            "execute_scalar requires exactly one aggregate, got {}",
+            query.aggregates.len()
+        )));
+    }
+    let mut out = execute(gpu, table, query)?;
+    Ok(out.rows.remove(0).1)
+}
+
+/// EXPLAIN: describe the physical plan the planner would choose, without
+/// executing anything on the device.
+pub fn explain(table: &GpuTable, query: &Query) -> EngineResult<String> {
+    let plan = plan_selection(table, query.filter.as_ref())?;
+    let mut out = String::new();
+    out.push_str("SELECTION: ");
+    out.push_str(&plan.describe(table));
+    out.push('\n');
+    for agg in &query.aggregates {
+        let line = match agg {
+            Aggregate::Count => "AGGREGATE: COUNT(*) via occlusion query (free with the \
+                                 selection pass)"
+                .to_string(),
+            Aggregate::Sum(c) | Aggregate::Avg(c) => format!(
+                "AGGREGATE: {} via bitwise Accumulator (one TestBit pass per bit of {c})",
+                agg.label()
+            ),
+            Aggregate::Min(c)
+            | Aggregate::Max(c)
+            | Aggregate::Median(c)
+            | Aggregate::KthLargest(c, _)
+            | Aggregate::KthSmallest(c, _)
+            | Aggregate::Percentile(c, _) => format!(
+                "AGGREGATE: {} via KthLargest bit descent (one pass per bit of {c})",
+                agg.label()
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+impl QueryOutput {
+    /// Look up a result by its label.
+    pub fn value(&self, label: &str) -> Option<&AggValue> {
+        self.rows.iter().find(|(l, _)| l == label).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ast::BoolExpr;
+    use gpudb_sim::CompareFunc::*;
+
+    fn setup() -> (Gpu, GpuTable, Vec<u32>, Vec<u32>) {
+        let a: Vec<u32> = (0..100u32).map(|i| (i * 37) % 200).collect();
+        let b: Vec<u32> = (0..100u32).map(|i| (i * 11 + 3) % 150).collect();
+        let mut gpu = GpuTable::device_for(100, 10);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &a), ("b", &b)]).unwrap();
+        (gpu, t, a, b)
+    }
+
+    #[test]
+    fn unfiltered_aggregates() {
+        let (mut gpu, t, a, _) = setup();
+        let q = Query::aggregate_all(vec![
+            Aggregate::Count,
+            Aggregate::Sum("a".into()),
+            Aggregate::Min("a".into()),
+            Aggregate::Max("a".into()),
+        ]);
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        assert_eq!(out.matched, 100);
+        assert_eq!(out.selectivity, 1.0);
+        let expect_sum: u64 = a.iter().map(|&v| v as u64).sum();
+        assert_eq!(out.value("COUNT(*)"), Some(&AggValue::Count(100)));
+        assert_eq!(out.value("SUM(a)"), Some(&AggValue::Sum(expect_sum)));
+        assert_eq!(
+            out.value("MIN(a)"),
+            Some(&AggValue::Value(*a.iter().min().unwrap()))
+        );
+        assert_eq!(
+            out.value("MAX(a)"),
+            Some(&AggValue::Value(*a.iter().max().unwrap()))
+        );
+        assert!(out.timing.total() > 0.0);
+    }
+
+    #[test]
+    fn filtered_aggregates_match_reference() {
+        let (mut gpu, t, a, b) = setup();
+        let q = Query::filtered(
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum("b".into()),
+                Aggregate::Avg("b".into()),
+                Aggregate::Median("a".into()),
+            ],
+            BoolExpr::pred("a", GreaterEqual, 50).and(BoolExpr::pred("b", Less, 100)),
+        );
+        let out = execute(&mut gpu, &t, &q).unwrap();
+
+        let selected: Vec<usize> = (0..100)
+            .filter(|&i| a[i] >= 50 && b[i] < 100)
+            .collect();
+        assert_eq!(out.matched, selected.len() as u64);
+        let sum_b: u64 = selected.iter().map(|&i| b[i] as u64).sum();
+        assert_eq!(out.value("SUM(b)"), Some(&AggValue::Sum(sum_b)));
+        let avg_b = sum_b as f64 / selected.len() as f64;
+        match out.value("AVG(b)") {
+            Some(AggValue::Avg(v)) => assert!((v - avg_b).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut sel_a: Vec<u32> = selected.iter().map(|&i| a[i]).collect();
+        sel_a.sort_unstable();
+        let expect_median = sel_a[sel_a.len().div_ceil(2) - 1];
+        assert_eq!(out.value("MEDIAN(a)"), Some(&AggValue::Value(expect_median)));
+    }
+
+    #[test]
+    fn between_filter_uses_range_plan_and_is_correct() {
+        let (mut gpu, t, a, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::Between {
+                column: "a".into(),
+                low: 40,
+                high: 120,
+            },
+        );
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        let expected = a.iter().filter(|&&v| (40..=120).contains(&v)).count() as u64;
+        assert_eq!(out.matched, expected);
+    }
+
+    #[test]
+    fn column_comparison_filter() {
+        let (mut gpu, t, a, b) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::CompareColumns {
+                left: "a".into(),
+                op: Greater,
+                right: "b".into(),
+            },
+        );
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        let expected = (0..100).filter(|&i| a[i] > b[i]).count() as u64;
+        assert_eq!(out.matched, expected);
+    }
+
+    #[test]
+    fn kth_aggregates() {
+        let (mut gpu, t, a, _) = setup();
+        let q = Query::aggregate_all(vec![
+            Aggregate::KthLargest("a".into(), 5),
+            Aggregate::KthSmallest("a".into(), 5),
+        ]);
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            out.value("KTH_LARGEST(a, 5)"),
+            Some(&AggValue::Value(sorted[sorted.len() - 5]))
+        );
+        assert_eq!(
+            out.value("KTH_SMALLEST(a, 5)"),
+            Some(&AggValue::Value(sorted[4]))
+        );
+    }
+
+    #[test]
+    fn execute_scalar_shortcuts() {
+        let (mut gpu, t, a, _) = setup();
+        let v = execute_scalar(
+            &mut gpu,
+            &t,
+            &Query::aggregate_all(vec![Aggregate::Max("a".into())]),
+        )
+        .unwrap();
+        assert_eq!(v, AggValue::Value(*a.iter().max().unwrap()));
+        // Requires exactly one aggregate.
+        assert!(execute_scalar(&mut gpu, &t, &Query::aggregate_all(vec![])).is_err());
+    }
+
+    #[test]
+    fn aggregate_over_empty_selection_errors() {
+        let (mut gpu, t, _, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Median("a".into())],
+            BoolExpr::pred("a", Greater, 10_000),
+        );
+        assert!(matches!(
+            execute(&mut gpu, &t, &q).unwrap_err(),
+            EngineError::EmptyInput | EngineError::InvalidK { .. }
+        ));
+        // COUNT over an empty selection is fine.
+        let q = Query::filtered(vec![Aggregate::Count], BoolExpr::pred("a", Greater, 10_000));
+        assert_eq!(execute(&mut gpu, &t, &q).unwrap().matched, 0);
+    }
+
+    #[test]
+    fn in_list_filter_executes() {
+        let (mut gpu, t, a, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::InList {
+                column: "a".into(),
+                values: vec![0, 37, 74, 111],
+            },
+        );
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        let expected = a
+            .iter()
+            .filter(|&&v| [0, 37, 74, 111].contains(&v))
+            .count() as u64;
+        assert_eq!(out.matched, expected);
+
+        // NOT IN is the complement.
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::InList {
+                column: "a".into(),
+                values: vec![0, 37, 74, 111],
+            }
+            .not(),
+        );
+        assert_eq!(execute(&mut gpu, &t, &q).unwrap().matched, 100 - expected);
+
+        // Empty IN list selects nothing; NOT of it selects everything.
+        let empty = BoolExpr::InList {
+            column: "a".into(),
+            values: vec![],
+        };
+        let q = Query::filtered(vec![Aggregate::Count], empty.clone());
+        assert_eq!(execute(&mut gpu, &t, &q).unwrap().matched, 0);
+        let q = Query::filtered(vec![Aggregate::Count], empty.not());
+        assert_eq!(execute(&mut gpu, &t, &q).unwrap().matched, 100);
+    }
+
+    #[test]
+    fn percentile_aggregate_executes() {
+        let (mut gpu, t, a, _) = setup();
+        let q = Query::aggregate_all(vec![Aggregate::Percentile("a".into(), 0.9)]);
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        let rank = ((0.9 * 100.0f64).ceil() as usize).clamp(1, 100);
+        assert_eq!(
+            out.rows[0].1,
+            AggValue::Value(sorted[rank - 1])
+        );
+    }
+
+    #[test]
+    fn explain_describes_plans() {
+        let (_gpu, t, _, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("a".into())],
+            BoolExpr::Between {
+                column: "a".into(),
+                low: 10,
+                high: 50,
+            },
+        );
+        let text = explain(&t, &q).unwrap();
+        assert!(text.contains("RANGE depth-bounds"), "{text}");
+        assert!(text.contains("Accumulator"), "{text}");
+
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::pred("a", GreaterEqual, 1).and(BoolExpr::pred("b", Less, 9)),
+        );
+        let text = explain(&t, &q).unwrap();
+        assert!(text.contains("CONJUNCTION fast path"), "{text}");
+
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::CompareColumns {
+                left: "a".into(),
+                op: Greater,
+                right: "b".into(),
+            },
+        );
+        let text = explain(&t, &q).unwrap();
+        assert!(text.contains("SEMILINEAR"), "{text}");
+    }
+
+    #[test]
+    fn unknown_aggregate_column_rejected() {
+        let (mut gpu, t, _, _) = setup();
+        let q = Query::aggregate_all(vec![Aggregate::Sum("nope".into())]);
+        assert!(matches!(
+            execute(&mut gpu, &t, &q).unwrap_err(),
+            EngineError::ColumnNotFound(_)
+        ));
+    }
+}

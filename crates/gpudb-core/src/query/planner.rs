@@ -1,0 +1,675 @@
+//! Query planning: boolean filter expressions → GPU execution plans.
+//!
+//! The planner performs NOT-elimination (operator inversion, §4.2),
+//! rewrites column–column comparisons as semi-linear queries (§4.1.2),
+//! converts general boolean trees to CNF for `EvalCNF`, and recognizes the
+//! range pattern `(x >= low) AND (x <= high)` to use the single-pass
+//! depth-bounds `Range` (Routine 4.4) instead of a two-pass CNF — the
+//! paper's own query optimization.
+
+use crate::boolean::{GpuClause, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+use crate::error::{EngineError, EngineResult};
+use crate::query::ast::BoolExpr;
+use crate::table::GpuTable;
+use gpudb_sim::CompareFunc;
+
+/// Upper bound on CNF clauses after distribution, to keep the pass count
+/// (and the planner's memory) sane.
+const MAX_CNF_CLAUSES: usize = 64;
+
+/// The physical selection strategy chosen for a filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionPlan {
+    /// No filter: select every record.
+    All,
+    /// Single-pass depth-bounds range query (Routine 4.4).
+    Range {
+        /// Column index.
+        column: usize,
+        /// Inclusive lower bound.
+        low: u32,
+        /// Inclusive upper bound.
+        high: u32,
+    },
+    /// Stencil-based CNF evaluation (Routine 4.3 / conjunction fast path).
+    Cnf(GpuCnf),
+    /// Stencil-based DNF evaluation (the §4.2 DNF variant) — chosen when
+    /// the filter is disjunctive enough that CNF distribution would
+    /// explode.
+    Dnf(GpuDnf),
+    /// One semi-linear kill pass (Routine 4.2). Coefficients are aligned
+    /// to column indices `0..len`.
+    SemiLinear {
+        /// Per-column coefficients.
+        coefficients: Vec<f32>,
+        /// Comparison operator.
+        op: CompareFunc,
+        /// Right-hand constant.
+        constant: f32,
+    },
+}
+
+impl SelectionPlan {
+    /// Human-readable plan description, for EXPLAIN output.
+    pub fn describe(&self, table: &GpuTable) -> String {
+        let col = |i: usize| -> String {
+            table
+                .column(i)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|_| format!("col{i}"))
+        };
+        match self {
+            SelectionPlan::All => "SCAN ALL (no filter)".to_string(),
+            SelectionPlan::Range { column, low, high } => format!(
+                "RANGE depth-bounds pass on {} in [{low}, {high}] (1 copy + 1 pass)",
+                col(*column)
+            ),
+            SelectionPlan::Cnf(cnf) => {
+                let conjunction = cnf.clauses.iter().all(|c| c.predicates.len() == 1);
+                if conjunction {
+                    format!(
+                        "CONJUNCTION fast path: {} predicate pass(es), one per attribute",
+                        cnf.clauses.len()
+                    )
+                } else {
+                    format!(
+                        "EVALCNF (Routine 4.3): {} clause(s), {} predicate(s)",
+                        cnf.clauses.len(),
+                        cnf.predicate_count()
+                    )
+                }
+            }
+            SelectionPlan::Dnf(dnf) => format!(
+                "EVALDNF: {} term(s), {} predicate(s) (CNF distribution would explode)",
+                dnf.terms.len(),
+                dnf.predicate_count()
+            ),
+            SelectionPlan::SemiLinear {
+                coefficients,
+                op,
+                constant,
+            } => {
+                let terms: Vec<String> = coefficients
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0.0)
+                    .map(|(i, &c)| format!("{c}*{}", col(i)))
+                    .collect();
+                format!(
+                    "SEMILINEAR kill pass: {} {op:?} {constant}",
+                    terms.join(" + ")
+                )
+            }
+        }
+    }
+}
+
+/// Plan a filter expression against a table's schema.
+pub fn plan_selection(table: &GpuTable, filter: Option<&BoolExpr>) -> EngineResult<SelectionPlan> {
+    let Some(filter) = filter else {
+        return Ok(SelectionPlan::All);
+    };
+
+    // Standalone semi-linear / column-comparison atoms get their dedicated
+    // single-pass plans (possibly under NOT, which inverts the operator).
+    if let Some(plan) = plan_semilinear_atom(table, filter, false)? {
+        return Ok(plan);
+    }
+
+    // General predicate tree: NNF, then CNF — falling back to DNF when
+    // OR-over-AND distribution would explode (the dual distribution can be
+    // small exactly when the CNF one is large).
+    let nnf = to_nnf(filter.clone(), false)?;
+    let cnf = match to_cnf(table, &nnf) {
+        Ok(cnf) => cnf,
+        Err(cnf_err) => {
+            return match to_dnf(table, &nnf) {
+                Ok(dnf) => Ok(SelectionPlan::Dnf(dnf)),
+                Err(_) => Err(cnf_err),
+            }
+        }
+    };
+
+    // Range recognition: exactly `x >= low AND x <= high` on one column.
+    if let Some((column, low, high)) = recognize_range(&cnf) {
+        return Ok(SelectionPlan::Range { column, low, high });
+    }
+    Ok(SelectionPlan::Cnf(cnf))
+}
+
+/// Convert an NNF predicate tree to DNF by distributing AND over OR.
+fn to_dnf(table: &GpuTable, expr: &BoolExpr) -> EngineResult<GpuDnf> {
+    let terms = dnf_terms(table, expr)?;
+    if terms.len() > MAX_CNF_CLAUSES {
+        return Err(EngineError::InvalidQuery(format!(
+            "filter expands to {} DNF terms (max {MAX_CNF_CLAUSES})",
+            terms.len()
+        )));
+    }
+    Ok(GpuDnf::new(terms))
+}
+
+fn dnf_terms(table: &GpuTable, expr: &BoolExpr) -> EngineResult<Vec<GpuTerm>> {
+    match expr {
+        BoolExpr::Pred {
+            column,
+            op,
+            constant,
+        } => {
+            let idx = table.column_index(column)?;
+            Ok(vec![GpuTerm::single(GpuPredicate::new(idx, *op, *constant))])
+        }
+        BoolExpr::Or(a, b) => {
+            let mut terms = dnf_terms(table, a)?;
+            terms.extend(dnf_terms(table, b)?);
+            Ok(terms)
+        }
+        BoolExpr::And(a, b) => {
+            let left = dnf_terms(table, a)?;
+            let right = dnf_terms(table, b)?;
+            if left.len() * right.len() > MAX_CNF_CLAUSES {
+                return Err(EngineError::InvalidQuery(format!(
+                    "AND distribution would produce {} terms (max {MAX_CNF_CLAUSES})",
+                    left.len() * right.len()
+                )));
+            }
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for lt in &left {
+                for rt in &right {
+                    let mut preds = lt.predicates.clone();
+                    preds.extend(rt.predicates.iter().copied());
+                    out.push(GpuTerm::all(preds));
+                }
+            }
+            Ok(out)
+        }
+        other => Err(EngineError::InvalidQuery(format!(
+            "unexpected node in NNF tree: {other:?}"
+        ))),
+    }
+}
+
+/// Try to plan the whole filter as one semi-linear pass. `negated` tracks
+/// an odd number of enclosing NOTs.
+fn plan_semilinear_atom(
+    table: &GpuTable,
+    expr: &BoolExpr,
+    negated: bool,
+) -> EngineResult<Option<SelectionPlan>> {
+    match expr {
+        BoolExpr::Not(inner) => plan_semilinear_atom(table, inner, !negated),
+        BoolExpr::CompareColumns { left, op, right } => {
+            let li = table.column_index(left)?;
+            let ri = table.column_index(right)?;
+            let op = if negated { op.negate() } else { *op };
+            let width = li.max(ri) + 1;
+            let mut coefficients = vec![0.0f32; width];
+            coefficients[li] += 1.0;
+            coefficients[ri] -= 1.0;
+            Ok(Some(SelectionPlan::SemiLinear {
+                coefficients,
+                op,
+                constant: 0.0,
+            }))
+        }
+        BoolExpr::SemiLinear {
+            terms,
+            op,
+            constant,
+        } => {
+            let op = if negated { op.negate() } else { *op };
+            let mut width = 0usize;
+            let mut resolved = Vec::with_capacity(terms.len());
+            for (name, coeff) in terms {
+                let idx = table.column_index(name)?;
+                width = width.max(idx + 1);
+                resolved.push((idx, *coeff));
+            }
+            let mut coefficients = vec![0.0f32; width];
+            for (idx, coeff) in resolved {
+                coefficients[idx] += coeff;
+            }
+            Ok(Some(SelectionPlan::SemiLinear {
+                coefficients,
+                op,
+                constant: *constant,
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Negation-normal form over simple predicates: push NOT down to the
+/// leaves and eliminate it by operator inversion; expand BETWEEN.
+/// Semi-linear atoms inside boolean structure are unsupported (they cannot
+/// share the stencil protocol of `EvalCNF`).
+fn to_nnf(expr: BoolExpr, negated: bool) -> EngineResult<BoolExpr> {
+    Ok(match expr {
+        BoolExpr::Pred {
+            column,
+            op,
+            constant,
+        } => BoolExpr::Pred {
+            column,
+            op: if negated { op.negate() } else { op },
+            constant,
+        },
+        BoolExpr::InList { column, values } => {
+            if values.is_empty() {
+                // Empty membership set: FALSE (or TRUE when negated);
+                // encode with a Never/Always predicate on the column.
+                return to_nnf(
+                    BoolExpr::pred(column, CompareFunc::Never, 0),
+                    negated,
+                );
+            }
+            // Positive: v0 = x OR v1 = x OR ...; negated: AND of !=.
+            let mut iter = values.into_iter();
+            let first = iter.next().expect("non-empty");
+            let mut e = BoolExpr::pred(column.clone(), CompareFunc::Equal, first);
+            for v in iter {
+                e = e.or(BoolExpr::pred(column.clone(), CompareFunc::Equal, v));
+            }
+            return to_nnf(e, negated);
+        }
+        BoolExpr::Between { column, low, high } => {
+            let ge = BoolExpr::pred(column.clone(), CompareFunc::GreaterEqual, low);
+            let le = BoolExpr::pred(column, CompareFunc::LessEqual, high);
+            if negated {
+                // ¬(low <= x <= high) = x < low OR x > high
+                to_nnf(ge, true)?.or(to_nnf(le, true)?)
+            } else {
+                ge.and(le)
+            }
+        }
+        BoolExpr::And(a, b) => {
+            let a = to_nnf(*a, negated)?;
+            let b = to_nnf(*b, negated)?;
+            if negated {
+                a.or(b)
+            } else {
+                a.and(b)
+            }
+        }
+        BoolExpr::Or(a, b) => {
+            let a = to_nnf(*a, negated)?;
+            let b = to_nnf(*b, negated)?;
+            if negated {
+                a.and(b)
+            } else {
+                a.or(b)
+            }
+        }
+        BoolExpr::Not(inner) => to_nnf(*inner, !negated)?,
+        BoolExpr::CompareColumns { .. } | BoolExpr::SemiLinear { .. } => {
+            return Err(EngineError::InvalidQuery(
+                "semi-linear atoms cannot be combined with other predicates".to_string(),
+            ))
+        }
+    })
+}
+
+/// Convert an NNF predicate tree to CNF by distributing OR over AND.
+fn to_cnf(table: &GpuTable, expr: &BoolExpr) -> EngineResult<GpuCnf> {
+    let clauses = cnf_clauses(table, expr)?;
+    if clauses.len() > MAX_CNF_CLAUSES {
+        return Err(EngineError::InvalidQuery(format!(
+            "filter expands to {} CNF clauses (max {MAX_CNF_CLAUSES})",
+            clauses.len()
+        )));
+    }
+    Ok(GpuCnf::new(clauses))
+}
+
+fn cnf_clauses(table: &GpuTable, expr: &BoolExpr) -> EngineResult<Vec<GpuClause>> {
+    match expr {
+        BoolExpr::Pred {
+            column,
+            op,
+            constant,
+        } => {
+            let idx = table.column_index(column)?;
+            Ok(vec![GpuClause::single(GpuPredicate::new(
+                idx, *op, *constant,
+            ))])
+        }
+        BoolExpr::And(a, b) => {
+            let mut clauses = cnf_clauses(table, a)?;
+            clauses.extend(cnf_clauses(table, b)?);
+            Ok(clauses)
+        }
+        BoolExpr::Or(a, b) => {
+            let left = cnf_clauses(table, a)?;
+            let right = cnf_clauses(table, b)?;
+            if left.len() * right.len() > MAX_CNF_CLAUSES {
+                return Err(EngineError::InvalidQuery(format!(
+                    "OR distribution would produce {} clauses (max {MAX_CNF_CLAUSES})",
+                    left.len() * right.len()
+                )));
+            }
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for lc in &left {
+                for rc in &right {
+                    let mut preds = lc.predicates.clone();
+                    preds.extend(rc.predicates.iter().copied());
+                    out.push(GpuClause::any(preds));
+                }
+            }
+            Ok(out)
+        }
+        other => Err(EngineError::InvalidQuery(format!(
+            "unexpected node in NNF tree: {other:?}"
+        ))),
+    }
+}
+
+/// Recognize the two-clause range pattern `x >= low AND x <= high`
+/// (in either clause order, and accepting the strict forms produced by
+/// NOT-elimination when they bound the same column).
+fn recognize_range(cnf: &GpuCnf) -> Option<(usize, u32, u32)> {
+    if cnf.clauses.len() != 2 {
+        return None;
+    }
+    let singles: Vec<&GpuPredicate> = cnf
+        .clauses
+        .iter()
+        .map(|c| {
+            if c.predicates.len() == 1 {
+                Some(&c.predicates[0])
+            } else {
+                None
+            }
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let (a, b) = (singles[0], singles[1]);
+    if a.column != b.column {
+        return None;
+    }
+    let lower_of = |p: &GpuPredicate| -> Option<u32> {
+        match p.op {
+            CompareFunc::GreaterEqual => Some(p.constant),
+            CompareFunc::Greater => p.constant.checked_add(1),
+            _ => None,
+        }
+    };
+    let upper_of = |p: &GpuPredicate| -> Option<u32> {
+        match p.op {
+            CompareFunc::LessEqual => Some(p.constant),
+            CompareFunc::Less => p.constant.checked_sub(1),
+            _ => None,
+        }
+    };
+    let (low, high) = match (lower_of(a), upper_of(b)) {
+        (Some(l), Some(h)) => (l, h),
+        _ => match (lower_of(b), upper_of(a)) {
+            (Some(l), Some(h)) => (l, h),
+            _ => return None,
+        },
+    };
+    Some((a.column, low, high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpudb_sim::CompareFunc::*;
+    use gpudb_sim::Gpu;
+
+    fn table() -> (Gpu, GpuTable) {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (0..10).collect();
+        let c: Vec<u32> = (0..10).collect();
+        let mut gpu = GpuTable::device_for(10, 5);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &a), ("b", &b), ("c", &c)]).unwrap();
+        (gpu, t)
+    }
+
+    #[test]
+    fn no_filter_plans_all() {
+        let (_gpu, t) = table();
+        assert_eq!(plan_selection(&t, None).unwrap(), SelectionPlan::All);
+    }
+
+    #[test]
+    fn single_predicate_plans_single_clause_cnf() {
+        let (_gpu, t) = table();
+        let plan = plan_selection(&t, Some(&BoolExpr::pred("a", Less, 5))).unwrap();
+        match plan {
+            SelectionPlan::Cnf(cnf) => {
+                assert_eq!(cnf.clauses.len(), 1);
+                assert_eq!(cnf.clauses[0].predicates[0], GpuPredicate::new(0, Less, 5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_plans_range() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::Between {
+            column: "b".into(),
+            low: 2,
+            high: 7,
+        };
+        assert_eq!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::Range {
+                column: 1,
+                low: 2,
+                high: 7
+            }
+        );
+    }
+
+    #[test]
+    fn ge_and_le_pattern_plans_range() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::pred("a", GreaterEqual, 3).and(BoolExpr::pred("a", LessEqual, 8));
+        assert_eq!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::Range {
+                column: 0,
+                low: 3,
+                high: 8
+            }
+        );
+        // Reversed order also recognized.
+        let e = BoolExpr::pred("a", LessEqual, 8).and(BoolExpr::pred("a", GreaterEqual, 3));
+        assert!(matches!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::Range { low: 3, high: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn strict_bounds_normalize_to_inclusive_range() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::pred("a", Greater, 3).and(BoolExpr::pred("a", Less, 8));
+        assert_eq!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::Range {
+                column: 0,
+                low: 4,
+                high: 7
+            }
+        );
+    }
+
+    #[test]
+    fn cross_column_conjunction_is_cnf_not_range() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::pred("a", GreaterEqual, 3).and(BoolExpr::pred("b", LessEqual, 8));
+        assert!(matches!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::Cnf(_)
+        ));
+    }
+
+    #[test]
+    fn not_between_becomes_disjunctive_cnf() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::Between {
+            column: "a".into(),
+            low: 2,
+            high: 7,
+        }
+        .not();
+        match plan_selection(&t, Some(&e)).unwrap() {
+            SelectionPlan::Cnf(cnf) => {
+                assert_eq!(cnf.clauses.len(), 1);
+                let preds = &cnf.clauses[0].predicates;
+                assert_eq!(preds.len(), 2);
+                assert!(preds.contains(&GpuPredicate::new(0, Less, 2)));
+                assert!(preds.contains(&GpuPredicate::new(0, Greater, 7)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn de_morgan_applied() {
+        let (_gpu, t) = table();
+        // NOT(a < 5 OR b >= 3) = a >= 5 AND b < 3
+        let e = BoolExpr::pred("a", Less, 5)
+            .or(BoolExpr::pred("b", GreaterEqual, 3))
+            .not();
+        match plan_selection(&t, Some(&e)).unwrap() {
+            SelectionPlan::Cnf(cnf) => {
+                assert_eq!(cnf.clauses.len(), 2);
+                assert_eq!(cnf.clauses[0].predicates[0], GpuPredicate::new(0, GreaterEqual, 5));
+                assert_eq!(cnf.clauses[1].predicates[0], GpuPredicate::new(1, Less, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_distribution() {
+        let (_gpu, t) = table();
+        // (a<1 AND b<2) OR c<3  →  (a<1 ∨ c<3) ∧ (b<2 ∨ c<3)
+        let e = BoolExpr::pred("a", Less, 1)
+            .and(BoolExpr::pred("b", Less, 2))
+            .or(BoolExpr::pred("c", Less, 3));
+        match plan_selection(&t, Some(&e)).unwrap() {
+            SelectionPlan::Cnf(cnf) => {
+                assert_eq!(cnf.clauses.len(), 2);
+                assert_eq!(cnf.clauses[0].predicates.len(), 2);
+                assert_eq!(cnf.clauses[1].predicates.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_columns_plans_semilinear() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::CompareColumns {
+            left: "a".into(),
+            op: Greater,
+            right: "c".into(),
+        };
+        assert_eq!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::SemiLinear {
+                coefficients: vec![1.0, 0.0, -1.0],
+                op: Greater,
+                constant: 0.0
+            }
+        );
+        // Negated: operator inverted.
+        assert!(matches!(
+            plan_selection(&t, Some(&e.not())).unwrap(),
+            SelectionPlan::SemiLinear { op: LessEqual, .. }
+        ));
+    }
+
+    #[test]
+    fn semilinear_terms_resolved_and_merged() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::SemiLinear {
+            terms: vec![("a".into(), 2.0), ("c".into(), -1.0), ("a".into(), 0.5)],
+            op: GreaterEqual,
+            constant: 4.0,
+        };
+        assert_eq!(
+            plan_selection(&t, Some(&e)).unwrap(),
+            SelectionPlan::SemiLinear {
+                coefficients: vec![2.5, 0.0, -1.0],
+                op: GreaterEqual,
+                constant: 4.0
+            }
+        );
+    }
+
+    #[test]
+    fn semilinear_inside_boolean_structure_rejected() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::CompareColumns {
+            left: "a".into(),
+            op: Greater,
+            right: "b".into(),
+        }
+        .and(BoolExpr::pred("c", Less, 3));
+        assert!(matches!(
+            plan_selection(&t, Some(&e)).unwrap_err(),
+            EngineError::InvalidQuery(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let (_gpu, t) = table();
+        let e = BoolExpr::pred("zzz", Less, 1);
+        assert!(matches!(
+            plan_selection(&t, Some(&e)).unwrap_err(),
+            EngineError::ColumnNotFound(_)
+        ));
+    }
+
+    fn conj(n: usize) -> BoolExpr {
+        let mut e = BoolExpr::pred("a", Less, 0);
+        for i in 1..n {
+            e = e.and(BoolExpr::pred("a", Less, i as u32));
+        }
+        e
+    }
+
+    #[test]
+    fn cnf_explosion_falls_back_to_dnf() {
+        let (_gpu, t) = table();
+        // (9 conjuncts) OR (9 conjuncts): CNF distribution would produce
+        // 81 clauses (> 64), but the same expression is a tidy 2-term DNF.
+        let e = conj(9).or(conj(9));
+        match plan_selection(&t, Some(&e)).unwrap() {
+            SelectionPlan::Dnf(dnf) => {
+                assert_eq!(dnf.terms.len(), 2);
+                assert_eq!(dnf.terms[0].predicates.len(), 9);
+            }
+            other => panic!("expected Dnf fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_explosion_still_guarded() {
+        let (_gpu, t) = table();
+        // OR of 9 copies of (AND of 9 binary ORs): the CNF distribution is
+        // 9^9 clauses and the DNF distribution 9 * 2^9 terms — both beyond
+        // the cap, so planning must fail with the CNF error.
+        let inner = {
+            let or_pair = BoolExpr::pred("a", Less, 1).or(BoolExpr::pred("b", Less, 1));
+            let mut e = or_pair.clone();
+            for _ in 1..9 {
+                e = e.and(or_pair.clone());
+            }
+            e
+        };
+        let mut e = inner.clone();
+        for _ in 1..9 {
+            e = e.or(inner.clone());
+        }
+        assert!(matches!(
+            plan_selection(&t, Some(&e)).unwrap_err(),
+            EngineError::InvalidQuery(_)
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Range queries via `EXT_depth_bounds_test` — the paper's `Range`
+//! (Routine 4.4).
+//!
+//! `low <= x <= high` is a two-predicate CNF, but the depth-bounds test
+//! evaluates both comparisons against the *stored* depth in a single
+//! fixed-function pass, which is why the paper finds "the computational
+//! time for our algorithm in evaluating Range is comparable to the time
+//! required in evaluating a single predicate" (§4.2).
+
+use crate::error::EngineResult;
+use crate::ops::encode_depth_f64;
+use crate::predicate::copy_to_depth;
+use crate::selection::{Selection, SELECTED};
+use crate::table::GpuTable;
+use gpudb_sim::state::ColorMask;
+use gpudb_sim::{CompareFunc, Gpu, Phase, StencilOp};
+
+/// Evaluate `low <= column <= high` (inclusive), materializing a
+/// [`Selection`] and returning the match count from the same pass.
+///
+/// Routine 4.4: set up the stencil, copy the attribute into the depth
+/// buffer, set the depth bounds from `[low, high]`, and render one quad
+/// with the bounds test enabled. The stencil is 1 for attributes passing
+/// the range and 0 otherwise.
+pub fn range_select(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    low: u32,
+    high: u32,
+) -> EngineResult<(Selection, u64)> {
+    // Line 1: SetupStencil.
+    gpu.set_phase(Phase::Compute);
+    gpu.reset_state();
+    gpu.clear_stencil(0);
+
+    // Line 2: CopyToDepth.
+    copy_to_depth(gpu, table, column)?;
+
+    // Lines 3-6: depth bounds from [low, high]; quad at depth `low`; the
+    // depth test itself stays disabled (the bounds test inspects the stored
+    // attribute, the quad's own depth is irrelevant).
+    gpu.set_phase(Phase::Compute);
+    gpu.set_color_mask(ColorMask::NONE);
+    gpu.set_depth_test(false, CompareFunc::Always);
+    gpu.set_depth_write(false);
+    gpu.set_depth_bounds(true, encode_depth_f64(low), encode_depth_f64(high));
+    gpu.set_stencil_func(true, CompareFunc::Always, SELECTED, 0xFF);
+    gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Replace);
+    gpu.begin_occlusion_query()?;
+    gpu.draw_quad(table.rects(), encode_depth_f64(low) as f32)?;
+    let count = gpu.end_occlusion_query_async()?;
+    gpu.reset_state();
+    Ok((Selection::over_table(table), count))
+}
+
+/// Evaluate a range query and return only the match count.
+pub fn range_count(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    column: usize,
+    low: u32,
+    high: u32,
+) -> EngineResult<u64> {
+    let (_, count) = range_select(gpu, table, column, low, high)?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::{eval_cnf_select, GpuCnf, GpuPredicate};
+    use gpudb_sim::CompareFunc::{GreaterEqual, LessEqual};
+
+    fn setup(values: &[u32]) -> (Gpu, GpuTable) {
+        let mut gpu = GpuTable::device_for(values.len(), 5);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", values)]).unwrap();
+        (gpu, t)
+    }
+
+    #[test]
+    fn range_matches_reference() {
+        let values: Vec<u32> = (0..100).map(|i| (i * 37) % 90).collect();
+        let (mut gpu, t) = setup(&values);
+        let (sel, count) = range_select(&mut gpu, &t, 0, 20, 60).unwrap();
+        let expected: Vec<bool> = values.iter().map(|&v| (20..=60).contains(&v)).collect();
+        assert_eq!(sel.read_mask(&mut gpu), expected);
+        assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
+    }
+
+    #[test]
+    fn bounds_are_inclusive() {
+        let values = vec![9u32, 10, 11, 49, 50, 51];
+        let (mut gpu, t) = setup(&values);
+        let (sel, count) = range_select(&mut gpu, &t, 0, 10, 50).unwrap();
+        assert_eq!(count, 4);
+        assert_eq!(
+            sel.read_mask(&mut gpu),
+            vec![false, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn range_agrees_with_cnf_formulation() {
+        // §4.2: Range(x, low, high) ≡ (x >= low) AND (x <= high) via
+        // EvalCNF — the depth-bounds path must produce the identical
+        // selection.
+        let values: Vec<u32> = (0..200).map(|i| (i * 7919) % 3000).collect();
+        for (low, high) in [(0u32, 2999u32), (500, 1500), (100, 100), (2999, 2999)] {
+            let (mut gpu, t) = setup(&values);
+            let (sel_range, c_range) = range_select(&mut gpu, &t, 0, low, high).unwrap();
+            let mask_range = sel_range.read_mask(&mut gpu);
+
+            let cnf = GpuCnf::all_of(vec![
+                GpuPredicate::new(0, GreaterEqual, low),
+                GpuPredicate::new(0, LessEqual, high),
+            ]);
+            let (sel_cnf, c_cnf) = eval_cnf_select(&mut gpu, &t, &cnf).unwrap();
+            assert_eq!(mask_range, sel_cnf.read_mask(&mut gpu), "[{low}, {high}]");
+            assert_eq!(c_range, c_cnf);
+        }
+    }
+
+    #[test]
+    fn range_uses_fewer_passes_than_cnf() {
+        // The whole point of the depth-bounds path: one comparison pass
+        // instead of two Compare invocations (two copies + two quads).
+        let values: Vec<u32> = (0..100).collect();
+        let (mut gpu, t) = setup(&values);
+        gpu.reset_stats();
+        range_select(&mut gpu, &t, 0, 10, 90).unwrap();
+        let range_copies = gpu.stats().fragments_shaded;
+        let range_modeled = gpu.stats().modeled_total();
+
+        gpu.reset_stats();
+        let cnf = GpuCnf::all_of(vec![
+            GpuPredicate::new(0, GreaterEqual, 10),
+            GpuPredicate::new(0, LessEqual, 90),
+        ]);
+        eval_cnf_select(&mut gpu, &t, &cnf).unwrap();
+        let cnf_copies = gpu.stats().fragments_shaded;
+        let cnf_modeled = gpu.stats().modeled_total();
+
+        assert_eq!(range_copies * 2, cnf_copies, "CNF copies the column twice");
+        assert!(range_modeled < cnf_modeled);
+    }
+
+    #[test]
+    fn degenerate_range() {
+        let values = vec![5u32, 6, 7];
+        let (mut gpu, t) = setup(&values);
+        // low > high selects nothing.
+        let (_, count) = range_select(&mut gpu, &t, 0, 7, 5).unwrap();
+        assert_eq!(count, 0);
+        // Point range selects exact matches.
+        let (_, count) = range_select(&mut gpu, &t, 0, 6, 6).unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn full_domain_range_selects_all() {
+        let values: Vec<u32> = (0..50).collect();
+        let (mut gpu, t) = setup(&values);
+        let (_, count) = range_select(&mut gpu, &t, 0, 0, (1 << 24) - 1).unwrap();
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn boundary_at_24_bits() {
+        let max = (1u32 << 24) - 1;
+        let values = vec![max - 2, max - 1, max];
+        let (mut gpu, t) = setup(&values);
+        let (_, count) = range_select(&mut gpu, &t, 0, max - 1, max).unwrap();
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Selections: the stencil buffer as a record mask.
+//!
+//! §3.4 of the paper: "we can consider the stencil buffer as a mask on the
+//! screen." Every selection operation in this crate leaves the invariant
+//! *stencil == 1 on selected records' pixels* (pixels outside the record
+//! rectangles are never consulted), so selections compose: aggregates take
+//! an optional [`Selection`] and restrict their passes with a stencil test.
+
+use crate::error::EngineResult;
+use crate::table::GpuTable;
+use gpudb_sim::raster::Rect;
+use gpudb_sim::state::ColorMask;
+use gpudb_sim::{CompareFunc, Gpu, Phase, StencilOp};
+
+/// The stencil value marking selected records.
+pub const SELECTED: u8 = 1;
+
+/// A selection over a table's records, materialized in the device stencil
+/// buffer (stencil == [`SELECTED`] on selected pixels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    record_count: usize,
+    width: usize,
+    rects: Vec<Rect>,
+}
+
+impl Selection {
+    /// Describe a selection over a table (does not touch the device; the
+    /// stencil contents are produced by the selection operations).
+    pub(crate) fn over_table(table: &GpuTable) -> Selection {
+        Selection {
+            record_count: table.record_count(),
+            width: table.width(),
+            rects: table.rects().to_vec(),
+        }
+    }
+
+    /// Select *all* records of a table: writes stencil = 1 over the record
+    /// rectangles in one fixed-function pass.
+    pub fn select_all(gpu: &mut Gpu, table: &GpuTable) -> EngineResult<Selection> {
+        gpu.set_phase(Phase::Compute);
+        gpu.reset_state();
+        gpu.clear_stencil(0);
+        gpu.set_color_mask(ColorMask::NONE);
+        gpu.set_depth_write(false);
+        gpu.set_stencil_func(true, CompareFunc::Always, SELECTED, 0xFF);
+        gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Replace);
+        gpu.draw_quad(table.rects(), 0.0)?;
+        gpu.reset_state();
+        Ok(Selection::over_table(table))
+    }
+
+    /// Number of records the selection ranges over (not the number
+    /// selected — see [`Selection::count`]).
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// The record rectangles.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Count the selected records with an occlusion-query pass (the
+    /// paper's COUNT, §4.3.1): render the record quad with a stencil test
+    /// for the selected value and read back the pixel pass count.
+    pub fn count(&self, gpu: &mut Gpu) -> EngineResult<u64> {
+        gpu.set_phase(Phase::Compute);
+        gpu.reset_state();
+        gpu.set_color_mask(ColorMask::NONE);
+        gpu.set_depth_write(false);
+        gpu.set_stencil_func(true, CompareFunc::Equal, SELECTED, 0xFF);
+        gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Keep);
+        gpu.begin_occlusion_query()?;
+        gpu.draw_quad(&self.rects, 0.0)?;
+        let count = gpu.end_occlusion_query()?;
+        gpu.reset_state();
+        Ok(count)
+    }
+
+    /// Selectivity of the selection in `[0, 1]`.
+    pub fn selectivity(&self, gpu: &mut Gpu) -> EngineResult<f64> {
+        if self.record_count == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.count(gpu)? as f64 / self.record_count as f64)
+    }
+
+    /// Read the selection back to the host as one bool per record — the
+    /// expensive full-readback path GPU algorithms avoid; provided for
+    /// verification and result delivery.
+    pub fn read_mask(&self, gpu: &mut Gpu) -> Vec<bool> {
+        let stencil = gpu.read_stencil_buffer();
+        stencil
+            .into_iter()
+            .take(self.record_count)
+            .map(|s| s == SELECTED)
+            .collect()
+    }
+
+    /// Indices of the selected records (host-side).
+    pub fn read_indices(&self, gpu: &mut Gpu) -> Vec<usize> {
+        self.read_mask(gpu)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, selected)| selected.then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::GpuTable;
+
+    fn table(gpu: &mut Gpu, n: usize) -> GpuTable {
+        let a: Vec<u32> = (0..n as u32).collect();
+        GpuTable::upload(gpu, "t", &[("a", &a)]).unwrap()
+    }
+
+    #[test]
+    fn select_all_counts_every_record() {
+        let mut gpu = GpuTable::device_for(10, 4);
+        let t = table(&mut gpu, 10);
+        let sel = Selection::select_all(&mut gpu, &t).unwrap();
+        assert_eq!(sel.count(&mut gpu).unwrap(), 10);
+        assert_eq!(sel.selectivity(&mut gpu).unwrap(), 1.0);
+        assert_eq!(sel.read_mask(&mut gpu), vec![true; 10]);
+    }
+
+    #[test]
+    fn padding_pixels_not_counted() {
+        // 10 records on a 4-wide grid: 2 padding pixels in the last row.
+        let mut gpu = GpuTable::device_for(10, 4);
+        let t = table(&mut gpu, 10);
+        // Pollute the whole stencil buffer, then select-all: only record
+        // pixels should count.
+        gpu.clear_stencil(SELECTED);
+        let sel = Selection::select_all(&mut gpu, &t).unwrap();
+        assert_eq!(sel.count(&mut gpu).unwrap(), 10);
+    }
+
+    #[test]
+    fn empty_table_selection() {
+        let mut gpu = GpuTable::device_for(0, 4);
+        let t = table(&mut gpu, 0);
+        let sel = Selection::select_all(&mut gpu, &t).unwrap();
+        assert_eq!(sel.count(&mut gpu).unwrap(), 0);
+        assert_eq!(sel.selectivity(&mut gpu).unwrap(), 0.0);
+        assert!(sel.read_mask(&mut gpu).is_empty());
+    }
+
+    #[test]
+    fn read_indices_match_mask() {
+        let mut gpu = GpuTable::device_for(10, 4);
+        let t = table(&mut gpu, 10);
+        let sel = Selection::select_all(&mut gpu, &t).unwrap();
+        assert_eq!(sel.read_indices(&mut gpu), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn count_uses_one_occlusion_readback() {
+        let mut gpu = GpuTable::device_for(10, 4);
+        let t = table(&mut gpu, 10);
+        let sel = Selection::select_all(&mut gpu, &t).unwrap();
+        let before = gpu.stats().occlusion_readbacks;
+        sel.count(&mut gpu).unwrap();
+        assert_eq!(gpu.stats().occlusion_readbacks, before + 1);
+    }
+}

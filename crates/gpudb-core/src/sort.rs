@@ -1,0 +1,272 @@
+//! Bitonic merge sort on the GPU — the paper's §7 future work
+//! ("we would like to develop algorithms for other database operations
+//! and queries including sorting"), following the Purcell et al. approach
+//! the paper cites in §2.2: "the output routing from one step to another
+//! is known in advance. The algorithm is implemented as a fragment program
+//! and each stage of the sorting algorithm is performed as one rendering
+//! pass."
+//!
+//! Because the pipeline has no random-access writes (§6.1 "No Random
+//! Writes"), each compare-exchange step is a full-grid pass: every pixel
+//! computes its partner's linear index arithmetically in the fragment
+//! program, fetches both values, and outputs min or max. The color buffer
+//! is then copied back into the source texture (`glCopyTexSubImage2D`)
+//! for the next pass. Sorting `n` values takes `m(m+1)/2` passes for
+//! `n ≤ 2^m` — the O(n log² n) cost that made the paper judge sorting
+//! "quite slow for database operations on large databases".
+
+use crate::error::{EngineError, EngineResult};
+use crate::table::GpuTable;
+use gpudb_sim::program::{assemble, FragmentProgram};
+use gpudb_sim::raster::Rect;
+use gpudb_sim::texture::{Texture, TextureFormat};
+use gpudb_sim::{CompareFunc, Gpu, Phase};
+
+/// Sentinel padding value, strictly greater than any 24-bit attribute
+/// (exactly representable in f32).
+const PAD_SENTINEL: f32 = (1u32 << 25) as f32;
+
+/// Environment parameter layout for the compare-exchange program.
+const ENV_STEP: usize = 0; // [j, -2j, 1/(2j), W]
+const ENV_STAGE: usize = 1; // [1/2^(k+2), 1/W, -W, 0.5]
+
+/// Build the compare-exchange fragment program for one bitonic pass.
+///
+/// Per-fragment: reconstruct the linear index `l` from the window
+/// position, derive the partner index `l ^ j` and the sort direction from
+/// bit `k+1` of `l` arithmetically (the ISA has no integer ops — §6.1
+/// "Integer Arithmetic Instructions"), fetch both elements, and emit
+/// min or max.
+pub fn build_compare_exchange_program() -> FragmentProgram {
+    assemble(
+        "!!ARBfp1.0
+         # Bitonic compare-exchange (one step).
+         # env[0] = {j, -2j, 1/(2j), W}   env[1] = {1/2^(k+2), 1/W, -W, 0.5}
+         TEMP pos, l, s, partner, a, b, lo, hi, t;
+         # integer pixel coords
+         SUB pos.x, fragment.position.x, 0.5;
+         SUB pos.y, fragment.position.y, 0.5;
+         # linear index l = y*W + x
+         MAD l.x, pos.y, program.env[0].w, pos.x;
+         # s.x = bit_j(l): frac(l / 2j) >= 0.5
+         MUL s.x, l.x, program.env[0].z;
+         FRC s.x, s.x;
+         SGE s.x, s.x, program.env[1].w;
+         # s.y = ascending flag: frac(l / 2^(k+2)) < 0.5
+         MUL s.y, l.x, program.env[1].x;
+         FRC s.y, s.y;
+         SLT s.y, s.y, program.env[1].w;
+         # partner = l + j - 2j*bit  (= l XOR j)
+         MAD partner.x, s.x, program.env[0].y, program.env[0].x;
+         ADD partner.x, l.x, partner.x;
+         # partner coords: y' = floor(partner/W); x' = partner - W*y'
+         MUL partner.y, partner.x, program.env[1].y;
+         FLR partner.y, partner.y;
+         MAD partner.x, partner.y, program.env[1].z, partner.x;
+         # fetch own and partner values
+         TEX a, fragment.texcoord[0], texture[0], 2D;
+         TEX b, partner, texture[0], 2D;
+         MIN lo, a, b;
+         MAX hi, a, b;
+         # want_min = bit XOR ascending
+         MUL t.x, s.x, s.y;
+         ADD t.y, s.x, s.y;
+         MAD t.x, t.x, -2.0, t.y;
+         SUB t.x, t.x, program.env[1].w;
+         # t.x < 0 -> keep max, else keep min
+         CMP result.color, t.x, hi, lo;
+         END",
+    )
+    .expect("compare-exchange program must assemble")
+}
+
+/// Result of a GPU sort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortOutcome {
+    /// The values in ascending order.
+    pub sorted: Vec<u32>,
+    /// Compare-exchange passes executed (`m(m+1)/2` for `2^m` elements).
+    pub passes: u32,
+}
+
+/// Width of the power-of-two sort grid for `padded` elements on a device
+/// `fb_width` wide.
+fn sort_grid_width(padded: usize, fb_width: usize) -> usize {
+    let mut w = 1usize;
+    while w * 2 <= fb_width && w * 2 <= padded {
+        w *= 2;
+    }
+    w
+}
+
+/// Sort a table column ascending on the GPU and read back the result.
+///
+/// The device framebuffer must accommodate the power-of-two sort grid:
+/// `n` values are padded to `2^m` with an above-range sentinel and laid
+/// out on a `W × (2^m / W)` grid with power-of-two `W`, so all index
+/// arithmetic in the fragment program is exact in f32.
+pub fn sort_column(gpu: &mut Gpu, table: &GpuTable, column: usize) -> EngineResult<SortOutcome> {
+    let values = table.read_column(gpu, column)?;
+    sort_values(gpu, &values)
+}
+
+/// Sort raw values ascending on the GPU (the host slice is uploaded to a
+/// scratch texture first).
+pub fn sort_values(gpu: &mut Gpu, values: &[u32]) -> EngineResult<SortOutcome> {
+    if values.is_empty() {
+        return Ok(SortOutcome {
+            sorted: Vec::new(),
+            passes: 0,
+        });
+    }
+    let padded = values.len().next_power_of_two();
+    let width = sort_grid_width(padded, gpu.width());
+    let height = padded / width;
+    if height > gpu.height() {
+        return Err(EngineError::FramebufferTooSmall {
+            needed: height,
+            available: gpu.height(),
+        });
+    }
+
+    // Upload values padded with the +inf sentinel.
+    gpu.set_phase(Phase::Upload);
+    let mut data: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+    data.resize(padded, PAD_SENTINEL);
+    let texture = Texture::from_data(width, height, TextureFormat::R, data)
+        .map_err(EngineError::from)?;
+    let tex_id = gpu.create_texture(texture)?;
+
+    gpu.set_phase(Phase::Compute);
+    gpu.reset_state();
+    gpu.set_depth_test(false, CompareFunc::Always);
+    gpu.set_depth_write(false);
+    gpu.bind_texture(0, Some(tex_id))?;
+    gpu.bind_program(Some(build_compare_exchange_program()));
+
+    let rect = Rect::new(0, 0, width, height);
+    let m = padded.trailing_zeros();
+    let mut passes = 0u32;
+    for k in 0..m {
+        for j_exp in (0..=k).rev() {
+            let j = (1u64 << j_exp) as f32;
+            let two_j_inv = 0.5f32.powi(j_exp as i32 + 1);
+            let stage_inv = 0.5f32.powi(k as i32 + 2);
+            gpu.set_program_env(ENV_STEP, [j, -2.0 * j, two_j_inv, width as f32])?;
+            gpu.set_program_env(
+                ENV_STAGE,
+                [stage_inv, 1.0 / width as f32, -(width as f32), 0.5],
+            )?;
+            gpu.draw_quad(&[rect], 0.0)?;
+            gpu.copy_color_to_texture(tex_id, 0, 0, width, height)?;
+            passes += 1;
+        }
+    }
+    gpu.bind_program(None);
+    gpu.reset_state();
+
+    // Read back and strip padding.
+    let tex = gpu.texture(tex_id)?;
+    let sorted: Vec<u32> = tex
+        .data()
+        .iter()
+        .take(values.len())
+        .map(|&v| gpudb_sim::texture::decode_u32(v))
+        .collect();
+    gpu.delete_texture(tex_id)?;
+    Ok(SortOutcome { sorted, passes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device_for_sort(n: usize) -> Gpu {
+        let padded = n.next_power_of_two().max(1);
+        let width = sort_grid_width(padded, 64);
+        Gpu::geforce_fx_5900(width.max(4), (padded / width).max(4))
+    }
+
+    fn check_sort(values: &[u32]) {
+        let mut gpu = device_for_sort(values.len());
+        let outcome = sort_values(&mut gpu, values).unwrap();
+        let mut expected = values.to_vec();
+        expected.sort_unstable();
+        assert_eq!(outcome.sorted, expected, "input {values:?}");
+    }
+
+    #[test]
+    fn sorts_exact_power_of_two() {
+        let values: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        check_sort(&values);
+    }
+
+    #[test]
+    fn sorts_non_power_of_two_with_padding() {
+        let values: Vec<u32> = (0..37u32).map(|i| (i * 7919) % 512).collect();
+        check_sort(&values);
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_extremes() {
+        let max = (1u32 << 24) - 1;
+        check_sort(&[5, 5, 5, 1, max, 0, max, 3]);
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed() {
+        let asc: Vec<u32> = (0..32).collect();
+        check_sort(&asc);
+        let desc: Vec<u32> = (0..32).rev().collect();
+        check_sort(&desc);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        check_sort(&[]);
+        check_sort(&[42]);
+        check_sort(&[2, 1]);
+        check_sort(&[3, 1, 2]);
+    }
+
+    #[test]
+    fn multi_row_grid_sort() {
+        // Force a grid taller than one row so the index<->coordinate
+        // arithmetic in the program is exercised across rows.
+        let values: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(40503) % 4096).collect();
+        let mut gpu = Gpu::geforce_fx_5900(16, 16);
+        let outcome = sort_values(&mut gpu, &values).unwrap();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        assert_eq!(outcome.sorted, expected);
+    }
+
+    #[test]
+    fn pass_count_is_m_m_plus_1_over_2() {
+        let values: Vec<u32> = (0..64).rev().collect(); // 2^6
+        let mut gpu = device_for_sort(64);
+        let outcome = sort_values(&mut gpu, &values).unwrap();
+        assert_eq!(outcome.passes, 6 * 7 / 2);
+    }
+
+    #[test]
+    fn rejects_grid_taller_than_framebuffer() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        let values: Vec<u32> = (0..64).collect();
+        assert!(matches!(
+            sort_values(&mut gpu, &values).unwrap_err(),
+            EngineError::FramebufferTooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn sort_column_from_table() {
+        let values: Vec<u32> = (0..32u32).map(|i| (i * 13) % 29).collect();
+        let mut gpu = Gpu::geforce_fx_5900(8, 4);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap();
+        let outcome = sort_column(&mut gpu, &t, 0).unwrap();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        assert_eq!(outcome.sorted, expected);
+    }
+}

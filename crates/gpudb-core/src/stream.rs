@@ -1,0 +1,339 @@
+//! Continuous queries over streams — the paper's closing future-work item
+//! (§7: "perform continuous queries over streams using GPUs").
+//!
+//! A [`StreamWindow`] keeps the most recent `capacity` records of a stream
+//! resident in a device texture as a ring buffer. Appending a batch
+//! overwrites the oldest texels in place with `glTexSubImage2D`-style
+//! sub-image updates (costed over AGP at exactly the batch's byte size —
+//! no re-upload of the whole window), after which any of the paper's
+//! operations run over the live window: counts, range counts, order
+//! statistics, sums.
+//!
+//! Ring-buffer semantics mean a query sees the window's records in
+//! arbitrary texel order — which is fine, because every primitive in this
+//! library is order-independent (selections and aggregates over sets).
+
+use crate::aggregate;
+use crate::error::{EngineError, EngineResult};
+use crate::predicate::compare_count;
+use crate::range::range_count;
+use crate::table::GpuTable;
+use gpudb_sim::{CompareFunc, Gpu};
+
+/// A sliding window over a stream of single-attribute records, resident on
+/// the device.
+#[derive(Debug)]
+pub struct StreamWindow {
+    table: GpuTable,
+    capacity: usize,
+    /// Next texel to overwrite.
+    head: usize,
+    /// Live records (≤ capacity).
+    len: usize,
+    /// Upper bound on the bit width of any value ever pushed (monotone; an
+    /// evicted wide value may leave harmless extra bit passes behind).
+    bits: u32,
+}
+
+impl StreamWindow {
+    /// Create an empty window of `capacity` records on the device. The
+    /// device framebuffer must cover the window grid.
+    pub fn new(gpu: &mut Gpu, name: impl Into<String>, capacity: usize) -> EngineResult<StreamWindow> {
+        if capacity == 0 {
+            return Err(EngineError::InvalidQuery(
+                "stream window capacity must be positive".to_string(),
+            ));
+        }
+        let zeros = vec![0u32; capacity];
+        let table = GpuTable::upload(gpu, name, &[("value", &zeros)])?;
+        Ok(StreamWindow {
+            table,
+            capacity,
+            head: 0,
+            len: 0,
+            bits: 0,
+        })
+    }
+
+    /// Window capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live records currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying table (for direct use of other primitives).
+    pub fn table(&self) -> &GpuTable {
+        &self.table
+    }
+
+    /// Append a batch of new records, overwriting the oldest. Values must
+    /// fit the 24-bit encoding. Batches larger than the capacity keep only
+    /// their most recent `capacity` values (the rest would already have
+    /// been evicted).
+    pub fn push(&mut self, gpu: &mut Gpu, values: &[u32]) -> EngineResult<()> {
+        if let Some(&bad) = values.iter().find(|&&v| v >= (1 << 24)) {
+            return Err(EngineError::AttributeTooWide {
+                column: "value".to_string(),
+                bits: 32 - bad.leading_zeros(),
+            });
+        }
+        let values = if values.len() > self.capacity {
+            &values[values.len() - self.capacity..]
+        } else {
+            values
+        };
+        // Keep the bitwise algorithms' pass count (b_max) in sync with the
+        // widest value ever stored — upload-time metadata went stale the
+        // moment the first sub-image update landed.
+        let batch_bits = values
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| 32 - m.leading_zeros());
+        if batch_bits > self.bits {
+            self.bits = batch_bits;
+            self.table.override_column_bits(0, self.bits)?;
+        }
+        let width = self.table.width();
+        let texture = self.table.texture_for(0)?;
+
+        // Write in up to two contiguous runs (ring wrap), each split into
+        // row-aligned sub-image updates.
+        let mut remaining = values;
+        while !remaining.is_empty() {
+            let run = (self.capacity - self.head).min(remaining.len());
+            let (chunk, rest) = remaining.split_at(run);
+            let mut offset = self.head;
+            let mut data = chunk;
+            while !data.is_empty() {
+                let x = offset % width;
+                let y = offset / width;
+                let row_space = width - x;
+                let take = row_space.min(data.len());
+                let (row_chunk, tail) = data.split_at(take);
+                let floats: Vec<f32> = row_chunk.iter().map(|&v| v as f32).collect();
+                gpu.update_texture_sub_image(texture, x, y, take, 1, &floats)?;
+                offset += take;
+                data = tail;
+            }
+            self.head = (self.head + run) % self.capacity;
+            remaining = rest;
+        }
+        self.len = (self.len + values.len()).min(self.capacity);
+        Ok(())
+    }
+
+    /// Ensure the window has live records before an aggregate.
+    fn require_nonempty(&self) -> EngineResult<()> {
+        if self.len == 0 {
+            Err(EngineError::EmptyInput)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The stale-record mask: when the window is not yet full, texels
+    /// beyond `len` still hold the zero fill. Queries account for them
+    /// explicitly.
+    fn stale(&self) -> u64 {
+        (self.capacity - self.len) as u64
+    }
+
+    /// COUNT of window records satisfying `value op constant`.
+    pub fn count(&self, gpu: &mut Gpu, op: CompareFunc, constant: u32) -> EngineResult<u64> {
+        let raw = compare_count(gpu, &self.table, 0, op, constant)?;
+        // Stale texels hold 0: subtract their contribution.
+        let stale_match = if op.eval(0u32, constant) { self.stale() } else { 0 };
+        Ok(raw - stale_match)
+    }
+
+    /// COUNT of window records in `[low, high]`.
+    pub fn range_count(&self, gpu: &mut Gpu, low: u32, high: u32) -> EngineResult<u64> {
+        let raw = range_count(gpu, &self.table, 0, low, high)?;
+        let stale_match = if low == 0 { self.stale() } else { 0 };
+        Ok(raw - stale_match)
+    }
+
+    /// SUM of the live window (stale zeros contribute nothing).
+    pub fn sum(&self, gpu: &mut Gpu) -> EngineResult<u64> {
+        aggregate::sum(gpu, &self.table, 0, None)
+    }
+
+    /// MAX of the live window.
+    pub fn max(&self, gpu: &mut Gpu) -> EngineResult<u32> {
+        self.require_nonempty()?;
+        aggregate::max(gpu, &self.table, 0, None)
+    }
+
+    /// The k-th largest value of the live window (stale zeros sort last,
+    /// so ranks within `len` are unaffected unless the window contains
+    /// zeros — which tie with stale texels harmlessly, since the k-th
+    /// largest of any k ≤ len is then still correct).
+    pub fn kth_largest(&self, gpu: &mut Gpu, k: usize) -> EngineResult<u32> {
+        if k == 0 || k > self.len {
+            return Err(EngineError::InvalidK {
+                k,
+                available: self.len as u64,
+            });
+        }
+        aggregate::kth_largest(gpu, &self.table, 0, k, None)
+    }
+
+    /// The (lower) median of the live window.
+    pub fn median(&self, gpu: &mut Gpu) -> EngineResult<u32> {
+        self.require_nonempty()?;
+        self.kth_largest(gpu, self.len + 1 - self.len.div_ceil(2))
+    }
+
+    /// Release the window's device resources.
+    pub fn free(self, gpu: &mut Gpu) -> EngineResult<()> {
+        self.table.free(gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Host mirror of the window contents for verification.
+    struct Mirror {
+        window: Vec<u32>,
+        capacity: usize,
+    }
+
+    impl Mirror {
+        fn new(capacity: usize) -> Mirror {
+            Mirror {
+                window: Vec::new(),
+                capacity,
+            }
+        }
+        fn push(&mut self, values: &[u32]) {
+            self.window.extend_from_slice(values);
+            if self.window.len() > self.capacity {
+                self.window.drain(..self.window.len() - self.capacity);
+            }
+        }
+    }
+
+    fn device(capacity: usize) -> Gpu {
+        GpuTable::device_for(capacity, 8)
+    }
+
+    #[test]
+    fn window_fills_then_slides() {
+        let capacity = 20;
+        let mut gpu = device(capacity);
+        let mut w = StreamWindow::new(&mut gpu, "s", capacity).unwrap();
+        let mut mirror = Mirror::new(capacity);
+        assert!(w.is_empty());
+
+        let mut next = 1u32;
+        for batch_size in [5usize, 7, 20, 3, 40, 1, 13] {
+            let batch: Vec<u32> = (0..batch_size as u32).map(|i| (next + i) * 3 % 1000).collect();
+            next += batch_size as u32;
+            w.push(&mut gpu, &batch).unwrap();
+            mirror.push(&batch);
+            assert_eq!(w.len(), mirror.window.len());
+
+            // Every aggregate agrees with the host mirror.
+            assert_eq!(
+                w.sum(&mut gpu).unwrap(),
+                mirror.window.iter().map(|&v| v as u64).sum::<u64>()
+            );
+            assert_eq!(
+                w.max(&mut gpu).unwrap(),
+                *mirror.window.iter().max().unwrap()
+            );
+            assert_eq!(
+                w.count(&mut gpu, CompareFunc::GreaterEqual, 500).unwrap(),
+                mirror.window.iter().filter(|&&v| v >= 500).count() as u64
+            );
+            assert_eq!(
+                w.range_count(&mut gpu, 100, 700).unwrap(),
+                mirror
+                    .window
+                    .iter()
+                    .filter(|&&v| (100..=700).contains(&v))
+                    .count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn partial_window_counts_exclude_stale_texels() {
+        let mut gpu = device(16);
+        let mut w = StreamWindow::new(&mut gpu, "s", 16).unwrap();
+        w.push(&mut gpu, &[5, 10, 15]).unwrap();
+        // op that zero WOULD satisfy: stale texels must not leak in.
+        assert_eq!(w.count(&mut gpu, CompareFunc::Less, 100).unwrap(), 3);
+        assert_eq!(w.count(&mut gpu, CompareFunc::GreaterEqual, 0).unwrap(), 3);
+        assert_eq!(w.range_count(&mut gpu, 0, 100).unwrap(), 3);
+        assert_eq!(w.count(&mut gpu, CompareFunc::Greater, 7).unwrap(), 2);
+    }
+
+    #[test]
+    fn order_statistics_over_live_records() {
+        let mut gpu = device(8);
+        let mut w = StreamWindow::new(&mut gpu, "s", 8).unwrap();
+        w.push(&mut gpu, &[50, 10, 40]).unwrap();
+        assert_eq!(w.kth_largest(&mut gpu, 1).unwrap(), 50);
+        assert_eq!(w.kth_largest(&mut gpu, 3).unwrap(), 10);
+        assert_eq!(w.median(&mut gpu).unwrap(), 40);
+        assert!(matches!(
+            w.kth_largest(&mut gpu, 4).unwrap_err(),
+            EngineError::InvalidK { k: 4, available: 3 }
+        ));
+
+        // Slide past capacity: the evicted 50 must not influence results.
+        w.push(&mut gpu, &[1, 2, 3, 4, 5, 6, 7]).unwrap();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.kth_largest(&mut gpu, 1).unwrap(), 40);
+        assert_eq!(w.max(&mut gpu).unwrap(), 40);
+    }
+
+    #[test]
+    fn oversized_batch_keeps_most_recent() {
+        let mut gpu = device(4);
+        let mut w = StreamWindow::new(&mut gpu, "s", 4).unwrap();
+        let batch: Vec<u32> = (1..=10).collect();
+        w.push(&mut gpu, &batch).unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.sum(&mut gpu).unwrap(), 7 + 8 + 9 + 10);
+    }
+
+    #[test]
+    fn push_cost_is_proportional_to_batch() {
+        let mut gpu = device(1000);
+        let mut w = StreamWindow::new(&mut gpu, "s", 1000).unwrap();
+        gpu.reset_stats();
+        w.push(&mut gpu, &[1, 2, 3, 4, 5]).unwrap();
+        // 5 records × 4 bytes — not a whole-window re-upload.
+        assert_eq!(gpu.stats().bytes_uploaded, 20);
+    }
+
+    #[test]
+    fn validation() {
+        let mut gpu = device(4);
+        assert!(StreamWindow::new(&mut gpu, "s", 0).is_err());
+        let mut w = StreamWindow::new(&mut gpu, "s", 4).unwrap();
+        assert!(matches!(
+            w.push(&mut gpu, &[1 << 24]).unwrap_err(),
+            EngineError::AttributeTooWide { .. }
+        ));
+        assert!(matches!(w.max(&mut gpu).unwrap_err(), EngineError::EmptyInput));
+        assert!(matches!(w.median(&mut gpu).unwrap_err(), EngineError::EmptyInput));
+        let base = gpu.vram_used();
+        w.free(&mut gpu).unwrap();
+        assert!(gpu.vram_used() < base);
+    }
+}

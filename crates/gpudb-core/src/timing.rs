@@ -1,0 +1,133 @@
+//! Per-operation timing breakdowns.
+//!
+//! The paper's figures separate total time from "computation time only"
+//! (excluding the copy into the depth buffer). [`measure`] snapshots the
+//! device's phase-attributed modeled clock around an operation and returns
+//! both views, plus the simulator's wall-clock for transparency.
+
+use gpudb_sim::{Gpu, Phase, PhaseTimes};
+use serde::{Deserialize, Serialize};
+
+/// Modeled timing breakdown of one operation, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpTiming {
+    /// Host → device upload time.
+    pub upload: f64,
+    /// Attribute copy-to-depth time (§5.4).
+    pub copy: f64,
+    /// Computation passes.
+    pub compute: f64,
+    /// Occlusion/result readback.
+    pub readback: f64,
+    /// Unattributed time.
+    pub other: f64,
+    /// Wall-clock seconds the simulation itself took (not a 2004 claim).
+    pub wall: f64,
+}
+
+impl OpTiming {
+    /// Total modeled time including the copy — the paper's headline
+    /// "GPU timings include time to copy data values into the depth
+    /// buffer" number.
+    pub fn total(&self) -> f64 {
+        self.upload + self.copy + self.compute + self.readback + self.other
+    }
+
+    /// Modeled time excluding the copy — the paper's "considering only
+    /// computation time" number.
+    pub fn compute_only(&self) -> f64 {
+        self.total() - self.copy
+    }
+
+    /// Build from a phase-time delta.
+    pub fn from_phases(delta: &PhaseTimes, wall: f64) -> OpTiming {
+        OpTiming {
+            upload: delta.get(Phase::Upload),
+            copy: delta.get(Phase::CopyToDepth),
+            compute: delta.get(Phase::Compute),
+            readback: delta.get(Phase::Readback),
+            other: delta.get(Phase::Other),
+            wall,
+        }
+    }
+
+    /// Component-wise sum, for aggregating repeated runs.
+    pub fn plus(&self, other: &OpTiming) -> OpTiming {
+        OpTiming {
+            upload: self.upload + other.upload,
+            copy: self.copy + other.copy,
+            compute: self.compute + other.compute,
+            readback: self.readback + other.readback,
+            other: self.other + other.other,
+            wall: self.wall + other.wall,
+        }
+    }
+
+    /// Component-wise scale, for averaging repeated runs.
+    pub fn scaled(&self, factor: f64) -> OpTiming {
+        OpTiming {
+            upload: self.upload * factor,
+            copy: self.copy * factor,
+            compute: self.compute * factor,
+            readback: self.readback * factor,
+            other: self.other * factor,
+            wall: self.wall * factor,
+        }
+    }
+}
+
+/// Run `op` against the device and capture its timing breakdown.
+pub fn measure<T>(
+    gpu: &mut Gpu,
+    op: impl FnOnce(&mut Gpu) -> T,
+) -> (T, OpTiming) {
+    let before = gpu.stats().modeled;
+    let wall_before = std::time::Instant::now();
+    let result = op(gpu);
+    let wall = wall_before.elapsed().as_secs_f64();
+    let after = gpu.stats().modeled;
+    (result, OpTiming::from_phases(&after.since(&before), wall))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::compare_count;
+    use crate::table::GpuTable;
+    use gpudb_sim::CompareFunc;
+
+    #[test]
+    fn measure_separates_copy_from_compute() {
+        let values: Vec<u32> = (0..500).collect();
+        let mut gpu = GpuTable::device_for(values.len(), 25);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap();
+        let (count, timing) = measure(&mut gpu, |gpu| {
+            compare_count(gpu, &t, 0, CompareFunc::Less, 250).unwrap()
+        });
+        assert_eq!(count, 250);
+        assert!(timing.copy > 0.0);
+        assert!(timing.compute > 0.0);
+        // The count is fetched asynchronously (§5.3), so no readback drain.
+        assert_eq!(timing.readback, 0.0);
+        assert_eq!(timing.upload, 0.0, "no upload inside the measured op");
+        assert!((timing.total() - timing.compute_only() - timing.copy).abs() < 1e-15);
+        assert!(timing.total() > timing.compute_only());
+        assert!(timing.wall > 0.0);
+    }
+
+    #[test]
+    fn plus_and_scaled() {
+        let a = OpTiming {
+            upload: 1.0,
+            copy: 2.0,
+            compute: 3.0,
+            readback: 4.0,
+            other: 5.0,
+            wall: 6.0,
+        };
+        let b = a.plus(&a);
+        assert_eq!(b.total(), 2.0 * a.total());
+        let half = b.scaled(0.5);
+        assert_eq!(half, a);
+    }
+}

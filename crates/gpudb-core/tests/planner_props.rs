@@ -1,0 +1,133 @@
+//! Property-based tests for the query planner and executor: any boolean
+//! filter expression over simple predicates must select exactly the
+//! records a direct row-by-row evaluation of the expression selects —
+//! regardless of which physical plan (CNF, conjunction fast path, or
+//! depth-bounds range) the planner chooses.
+
+use gpudb_core::query::{execute, plan_selection, Aggregate, BoolExpr, Query, SelectionPlan};
+use gpudb_core::table::GpuTable;
+use gpudb_sim::CompareFunc;
+use proptest::prelude::*;
+
+const OPS: [CompareFunc; 6] = [
+    CompareFunc::Less,
+    CompareFunc::LessEqual,
+    CompareFunc::Greater,
+    CompareFunc::GreaterEqual,
+    CompareFunc::Equal,
+    CompareFunc::NotEqual,
+];
+
+const COLUMNS: [&str; 2] = ["a", "b"];
+
+/// Host-side truth semantics of a filter expression.
+fn eval_expr(expr: &BoolExpr, row: &[u32]) -> bool {
+    match expr {
+        BoolExpr::Pred {
+            column,
+            op,
+            constant,
+        } => {
+            let idx = COLUMNS.iter().position(|c| c == column).unwrap();
+            op.eval(row[idx], *constant)
+        }
+        BoolExpr::Between { column, low, high } => {
+            let idx = COLUMNS.iter().position(|c| c == column).unwrap();
+            row[idx] >= *low && row[idx] <= *high
+        }
+        BoolExpr::And(x, y) => eval_expr(x, row) && eval_expr(y, row),
+        BoolExpr::Or(x, y) => eval_expr(x, row) || eval_expr(y, row),
+        BoolExpr::Not(x) => !eval_expr(x, row),
+        other => unreachable!("not generated: {other:?}"),
+    }
+}
+
+/// Random boolean expression trees over predicates and BETWEENs.
+fn expr_strategy() -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        (0usize..2, 0usize..6, 0u32..64).prop_map(|(col, op, c)| BoolExpr::Pred {
+            column: COLUMNS[col].to_string(),
+            op: OPS[op],
+            constant: c,
+        }),
+        (0usize..2, 0u32..64, 0u32..64).prop_map(|(col, x, y)| BoolExpr::Between {
+            column: COLUMNS[col].to_string(),
+            low: x.min(y),
+            high: x.max(y),
+        }),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BoolExpr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| BoolExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn planned_execution_matches_row_semantics(
+        col_a in prop::collection::vec(0u32..64, 30..60),
+        col_b in prop::collection::vec(0u32..64, 30..60),
+        expr in expr_strategy(),
+    ) {
+        let n = col_a.len().min(col_b.len());
+        let a = &col_a[..n];
+        let b = &col_b[..n];
+        let mut gpu = GpuTable::device_for(n, 8);
+        let table = GpuTable::upload(&mut gpu, "t", &[("a", a), ("b", b)]).unwrap();
+
+        let query = Query::filtered(vec![Aggregate::Count], expr.clone());
+        let result = execute(&mut gpu, &table, &query);
+        let out = match result {
+            Ok(out) => out,
+            // The only legitimate failure is the CNF clause-explosion guard.
+            Err(gpudb_core::EngineError::InvalidQuery(msg)) => {
+                prop_assert!(msg.contains("clauses"), "unexpected InvalidQuery: {}", msg);
+                return Ok(());
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+        };
+
+        let expected = (0..n)
+            .filter(|&i| eval_expr(&expr, &[a[i], b[i]]))
+            .count() as u64;
+        prop_assert_eq!(out.matched, expected, "expr: {:?}", expr);
+    }
+
+    #[test]
+    fn range_patterns_get_range_plans(
+        col in 0usize..2,
+        x in 0u32..1000,
+        y in 0u32..1000,
+    ) {
+        let (low, high) = (x.min(y), x.max(y));
+        let values: Vec<u32> = (0..20).collect();
+        let mut gpu = GpuTable::device_for(20, 5);
+        let table = GpuTable::upload(&mut gpu, "t", &[("a", &values), ("b", &values)]).unwrap();
+
+        // Both spellings must produce a Range plan on the right column.
+        let between = BoolExpr::Between {
+            column: COLUMNS[col].to_string(),
+            low,
+            high,
+        };
+        let spelled = BoolExpr::pred(COLUMNS[col], CompareFunc::GreaterEqual, low)
+            .and(BoolExpr::pred(COLUMNS[col], CompareFunc::LessEqual, high));
+        for expr in [between, spelled] {
+            match plan_selection(&table, Some(&expr)).unwrap() {
+                SelectionPlan::Range { column, low: l, high: h } => {
+                    prop_assert_eq!(column, col);
+                    prop_assert_eq!(l, low);
+                    prop_assert_eq!(h, high);
+                }
+                other => prop_assert!(false, "expected Range plan, got {:?}", other),
+            }
+        }
+    }
+}

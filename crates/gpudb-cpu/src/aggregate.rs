@@ -1,0 +1,164 @@
+//! CPU aggregation baselines: SUM, COUNT, AVG, MIN, MAX — the accumulator
+//! side of the paper's Figure 10 and the scalar aggregates of §4.3.
+
+use crate::bitmap::Bitmap;
+
+/// Exact sum of a `u32` column in a `u64` accumulator.
+///
+/// The loop is unrolled over four lanes to mirror the 4-wide SIMD execution
+/// of the paper's "compiler-optimized" baseline; the compiler vectorizes
+/// this shape readily.
+pub fn sum(values: &[u32]) -> u64 {
+    let mut lanes = [0u64; 4];
+    let chunks = values.chunks_exact(4);
+    let remainder = chunks.remainder();
+    for chunk in chunks {
+        lanes[0] += chunk[0] as u64;
+        lanes[1] += chunk[1] as u64;
+        lanes[2] += chunk[2] as u64;
+        lanes[3] += chunk[3] as u64;
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for &v in remainder {
+        total += v as u64;
+    }
+    total
+}
+
+/// Sum of the records selected by `mask`.
+///
+/// Uses a branch-free multiply by the mask bit, the shape a SIMD
+/// implementation would use to avoid data-dependent branches.
+pub fn sum_masked(values: &[u32], mask: &Bitmap) -> u64 {
+    assert_eq!(values.len(), mask.len(), "mask length mismatch");
+    let mut total = 0u64;
+    for (word_idx, &word) in mask.words().iter().enumerate() {
+        let base = word_idx * 64;
+        let end = (base + 64).min(values.len());
+        let mut w = word;
+        // Iterate only set bits; for dense masks this is close to a full
+        // scan, for sparse masks it is much cheaper.
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            let idx = base + bit;
+            debug_assert!(idx < end);
+            total += values[idx] as u64;
+        }
+    }
+    total
+}
+
+/// Average (`None` for an empty column). AVG = SUM / COUNT, as §4.3.3.
+pub fn avg(values: &[u32]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(sum(values) as f64 / values.len() as f64)
+    }
+}
+
+/// Average over the selected subset.
+pub fn avg_masked(values: &[u32], mask: &Bitmap) -> Option<f64> {
+    let count = mask.count_ones();
+    if count == 0 {
+        None
+    } else {
+        Some(sum_masked(values, mask) as f64 / count as f64)
+    }
+}
+
+/// Minimum value (`None` for an empty column).
+pub fn min(values: &[u32]) -> Option<u32> {
+    values.iter().copied().min()
+}
+
+/// Maximum value (`None` for an empty column).
+pub fn max(values: &[u32]) -> Option<u32> {
+    values.iter().copied().max()
+}
+
+/// Minimum over the selected subset.
+pub fn min_masked(values: &[u32], mask: &Bitmap) -> Option<u32> {
+    mask.iter_ones().map(|i| values[i]).min()
+}
+
+/// Maximum over the selected subset.
+pub fn max_masked(values: &[u32], mask: &Bitmap) -> Option<u32> {
+    mask.iter_ones().map(|i| values[i]).max()
+}
+
+/// Extract the selected values into a fresh vector — the copy the paper's
+/// CPU baseline performs before running `QuickSelect` on a subset ("we have
+/// copied the valid data into an array and passed it as a parameter to
+/// QuickSelect", §5.9 Test 3).
+pub fn extract_masked(values: &[u32], mask: &Bitmap) -> Vec<u32> {
+    assert_eq!(values.len(), mask.len(), "mask length mismatch");
+    mask.iter_ones().map(|i| values[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_iter_reference() {
+        for len in [0usize, 1, 3, 4, 5, 100, 1003] {
+            let values: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
+            let expected: u64 = values.iter().map(|&v| v as u64).sum();
+            assert_eq!(sum(&values), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sum_no_overflow_at_24_bit_scale() {
+        // One million maximal 24-bit values must not overflow u64.
+        let values = vec![(1u32 << 24) - 1; 1_000_000];
+        assert_eq!(sum(&values), ((1u64 << 24) - 1) * 1_000_000);
+    }
+
+    #[test]
+    fn masked_sum() {
+        let values: Vec<u32> = (0..130).collect();
+        let mask = Bitmap::from_fn(130, |i| i % 2 == 0);
+        let expected: u64 = (0..130).filter(|i| i % 2 == 0).sum::<usize>() as u64;
+        assert_eq!(sum_masked(&values, &mask), expected);
+        assert_eq!(sum_masked(&values, &Bitmap::zeros(130)), 0);
+        assert_eq!(sum_masked(&values, &Bitmap::ones(130)), sum(&values));
+    }
+
+    #[test]
+    fn averages() {
+        assert_eq!(avg(&[]), None);
+        assert_eq!(avg(&[2, 4, 6]), Some(4.0));
+        let mask = Bitmap::from_fn(3, |i| i > 0);
+        assert_eq!(avg_masked(&[2, 4, 6], &mask), Some(5.0));
+        assert_eq!(avg_masked(&[2, 4, 6], &Bitmap::zeros(3)), None);
+    }
+
+    #[test]
+    fn min_max() {
+        let values = vec![5u32, 1, 9, 3];
+        assert_eq!(min(&values), Some(1));
+        assert_eq!(max(&values), Some(9));
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        let mask = Bitmap::from_fn(4, |i| i != 1 && i != 2);
+        assert_eq!(min_masked(&values, &mask), Some(3));
+        assert_eq!(max_masked(&values, &mask), Some(5));
+        assert_eq!(min_masked(&values, &Bitmap::zeros(4)), None);
+    }
+
+    #[test]
+    fn extraction_preserves_order() {
+        let values = vec![10u32, 20, 30, 40, 50];
+        let mask = Bitmap::from_fn(5, |i| i % 2 == 0);
+        assert_eq!(extract_masked(&values, &mask), vec![10, 30, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn masked_sum_length_checked() {
+        sum_masked(&[1, 2, 3], &Bitmap::zeros(4));
+    }
+}

@@ -1,0 +1,268 @@
+//! A packed bitmap used as the CPU-side selection vector.
+//!
+//! The CPU baselines mirror the GPU algorithms' stencil buffer with a
+//! bitmap: one bit per record, word-parallel boolean combination. This is
+//! the representation Zhou & Ross-style SIMD scan implementations produce,
+//! and what the paper's "compiler-optimized SIMD implementation" would
+//! materialize for a selection.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bitmap over record indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap over `len` records.
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-ones bitmap over `len` records.
+    pub fn ones(len: usize) -> Bitmap {
+        let mut bm = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Build a bitmap by evaluating `f` at every index.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Bitmap {
+        let mut bm = Bitmap::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+
+    /// Clear any bits beyond `len` in the last word (invariant after
+    /// whole-word operations like `not`).
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Number of records covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at `index`.
+    #[inline(always)]
+    pub fn get(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Set bit at `index`.
+    #[inline(always)]
+    pub fn set(&mut self, index: usize, value: bool) {
+        debug_assert!(index < self.len);
+        let word = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        if value {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    /// Population count: the number of selected records.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Selectivity as a fraction in `[0, 1]` (0 for an empty bitmap).
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// In-place intersection. Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// In-place union. Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// In-place complement.
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// In-place symmetric difference. Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// Iterate over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Raw word storage (for word-parallel consumers).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Store a full 64-bit word of results at word index `word_index`.
+    /// Bits beyond `len` in the final word are masked off. Used by scans
+    /// that build 64 comparison results at a time.
+    pub fn set_word(&mut self, word_index: usize, word: u64) {
+        self.words[word_index] = word;
+        if word_index == self.words.len() - 1 {
+            self.mask_tail();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Bitmap::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 100);
+        let o = Bitmap::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!(o.get(99));
+        assert_eq!(o.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        // 65 bits: second word must only have 1 bit set.
+        let o = Bitmap::ones(65);
+        assert_eq!(o.count_ones(), 65);
+        assert_eq!(o.words()[1], 1);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bm = Bitmap::zeros(130);
+        for i in [0, 63, 64, 127, 128, 129] {
+            bm.set(i, true);
+            assert!(bm.get(i));
+        }
+        assert_eq!(bm.count_ones(), 6);
+        bm.set(64, false);
+        assert!(!bm.get(64));
+        assert_eq!(bm.count_ones(), 5);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = Bitmap::from_fn(10, |i| i % 2 == 0); // 0,2,4,6,8
+        let b = Bitmap::from_fn(10, |i| i < 5); // 0..5
+
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(
+            or.iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 6, 8]
+        );
+
+        let mut xor = a.clone();
+        xor.xor_assign(&b);
+        assert_eq!(xor.iter_ones().collect::<Vec<_>>(), vec![1, 3, 6, 8]);
+
+        let mut not = a.clone();
+        not.not_assign();
+        assert_eq!(not.iter_ones().collect::<Vec<_>>(), vec![1, 3, 5, 7, 9]);
+        assert_eq!(not.count_ones(), 5, "complement must not leak tail bits");
+    }
+
+    #[test]
+    fn not_assign_twice_is_identity() {
+        let a = Bitmap::from_fn(77, |i| i % 3 == 0);
+        let mut b = a.clone();
+        b.not_assign();
+        b.not_assign();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut a = Bitmap::zeros(10);
+        let b = Bitmap::zeros(11);
+        a.and_assign(&b);
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let bm = Bitmap::from_fn(200, |i| i % 37 == 0);
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(ones, vec![0, 37, 74, 111, 148, 185]);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = Bitmap::zeros(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.selectivity(), 0.0);
+        assert_eq!(bm.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let bm = Bitmap::from_fn(1000, |i| i * i % 7 == 1);
+        for i in 0..1000 {
+            assert_eq!(bm.get(i), i * i % 7 == 1);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! CPU evaluation of boolean predicate combinations in conjunctive normal
+//! form — the baseline for the paper's `EvalCNF` (Routine 4.3).
+//!
+//! The representation mirrors the paper's: a CNF `A1 ∧ A2 ∧ ... ∧ Ak`
+//! where each clause `Ai = B1 ∨ B2 ∨ ... ∨ Bmi` is a disjunction of simple
+//! predicates of the form `attribute op constant`. NOT is eliminated by
+//! inverting the comparison operator (§4.2).
+
+use crate::bitmap::Bitmap;
+use crate::scan::{scan_u32, CmpOp};
+use serde::{Deserialize, Serialize};
+
+/// A simple predicate `column[i] op constant`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Index of the attribute column.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant operand.
+    pub constant: u32,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(column: usize, op: CmpOp, constant: u32) -> Predicate {
+        Predicate {
+            column,
+            op,
+            constant,
+        }
+    }
+
+    /// Evaluate the predicate for a single record.
+    #[inline]
+    pub fn eval(&self, columns: &[&[u32]], row: usize) -> bool {
+        self.op.eval(columns[self.column][row], self.constant)
+    }
+}
+
+/// A disjunction of simple predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Clause {
+    /// The OR-ed predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Clause {
+    /// A clause with a single predicate.
+    pub fn single(p: Predicate) -> Clause {
+        Clause {
+            predicates: vec![p],
+        }
+    }
+
+    /// A clause OR-ing several predicates.
+    pub fn any(predicates: Vec<Predicate>) -> Clause {
+        Clause { predicates }
+    }
+}
+
+/// A conjunction of clauses.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Cnf {
+    /// The AND-ed clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// The empty conjunction (TRUE).
+    pub fn always_true() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Build a CNF from clauses.
+    pub fn new(clauses: Vec<Clause>) -> Cnf {
+        Cnf { clauses }
+    }
+
+    /// A pure conjunction of simple predicates (one predicate per clause) —
+    /// the multi-attribute query shape of the paper's Figure 5.
+    pub fn all_of(predicates: Vec<Predicate>) -> Cnf {
+        Cnf {
+            clauses: predicates.into_iter().map(Clause::single).collect(),
+        }
+    }
+
+    /// Largest column index referenced, if any.
+    pub fn max_column(&self) -> Option<usize> {
+        self.clauses
+            .iter()
+            .flat_map(|c| c.predicates.iter())
+            .map(|p| p.column)
+            .max()
+    }
+
+    /// Evaluate the CNF for a single record (reference semantics for
+    /// testing; the scan path below is the optimized baseline).
+    pub fn eval_row(&self, columns: &[&[u32]], row: usize) -> bool {
+        self.clauses
+            .iter()
+            .all(|clause| clause.predicates.iter().any(|p| p.eval(columns, row)))
+    }
+}
+
+/// Evaluate a CNF over columnar data with branch-free scans and
+/// word-parallel boolean combination.
+///
+/// Each simple predicate is one sequential scan; each clause ORs its
+/// predicate bitmaps; the clause bitmaps are AND-folded. An empty CNF is
+/// TRUE (all records selected), matching the paper's `C0 = TRUE`.
+pub fn eval_cnf(columns: &[&[u32]], cnf: &Cnf) -> Bitmap {
+    let len = columns.first().map_or(0, |c| c.len());
+    debug_assert!(columns.iter().all(|c| c.len() == len));
+    let mut result = Bitmap::ones(len);
+    for clause in &cnf.clauses {
+        let mut clause_bm: Option<Bitmap> = None;
+        for p in &clause.predicates {
+            let bm = scan_u32(columns[p.column], p.op, p.constant);
+            match &mut clause_bm {
+                None => clause_bm = Some(bm),
+                Some(acc) => acc.or_assign(&bm),
+            }
+        }
+        // An empty clause is an empty disjunction: FALSE.
+        let clause_bm = clause_bm.unwrap_or_else(|| Bitmap::zeros(len));
+        result.and_assign(&clause_bm);
+    }
+    result
+}
+
+/// Evaluate a range query `low <= column <= high` as the two-predicate CNF
+/// the paper describes in §4.2 ("Range Queries").
+pub fn eval_range(values: &[u32], low: u32, high: u32) -> Bitmap {
+    let mut bm = scan_u32(values, CmpOp::Ge, low);
+    bm.and_assign(&scan_u32(values, CmpOp::Le, high));
+    bm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns() -> (Vec<u32>, Vec<u32>) {
+        let a: Vec<u32> = (0..200).map(|i| (i * 13) % 100).collect();
+        let b: Vec<u32> = (0..200).map(|i| (i * 29 + 7) % 100).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let (a, _) = columns();
+        let bm = eval_cnf(&[&a], &Cnf::always_true());
+        assert_eq!(bm.count_ones(), 200);
+    }
+
+    #[test]
+    fn single_predicate_cnf() {
+        let (a, _) = columns();
+        let cnf = Cnf::all_of(vec![Predicate::new(0, CmpOp::Gt, 50)]);
+        let bm = eval_cnf(&[&a], &cnf);
+        for (i, &v) in a.iter().enumerate() {
+            assert_eq!(bm.get(i), v > 50);
+        }
+    }
+
+    #[test]
+    fn conjunction_of_two_attributes() {
+        let (a, b) = columns();
+        let cnf = Cnf::all_of(vec![
+            Predicate::new(0, CmpOp::Ge, 30),
+            Predicate::new(1, CmpOp::Lt, 70),
+        ]);
+        let bm = eval_cnf(&[&a, &b], &cnf);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), a[i] >= 30 && b[i] < 70, "row {i}");
+        }
+    }
+
+    #[test]
+    fn disjunction_within_clause() {
+        let (a, b) = columns();
+        let cnf = Cnf::new(vec![Clause::any(vec![
+            Predicate::new(0, CmpOp::Lt, 10),
+            Predicate::new(1, CmpOp::Ge, 90),
+        ])]);
+        let bm = eval_cnf(&[&a, &b], &cnf);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), a[i] < 10 || b[i] >= 90, "row {i}");
+        }
+    }
+
+    #[test]
+    fn full_cnf_matches_row_semantics() {
+        let (a, b) = columns();
+        let cnf = Cnf::new(vec![
+            Clause::any(vec![
+                Predicate::new(0, CmpOp::Lt, 40),
+                Predicate::new(1, CmpOp::Gt, 60),
+            ]),
+            Clause::any(vec![
+                Predicate::new(0, CmpOp::Ne, 13),
+                Predicate::new(1, CmpOp::Eq, 7),
+            ]),
+            Clause::single(Predicate::new(1, CmpOp::Le, 95)),
+        ]);
+        let cols: Vec<&[u32]> = vec![&a, &b];
+        let bm = eval_cnf(&cols, &cnf);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), cnf.eval_row(&cols, i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let (a, _) = columns();
+        let cnf = Cnf::new(vec![Clause::default()]);
+        let bm = eval_cnf(&[&a], &cnf);
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn range_matches_two_predicates() {
+        let (a, _) = columns();
+        let bm = eval_range(&a, 25, 75);
+        let cnf = Cnf::all_of(vec![
+            Predicate::new(0, CmpOp::Ge, 25),
+            Predicate::new(0, CmpOp::Le, 75),
+        ]);
+        assert_eq!(bm, eval_cnf(&[&a], &cnf));
+    }
+
+    #[test]
+    fn range_boundaries_inclusive() {
+        let values = vec![10u32, 20, 30, 40, 50];
+        let bm = eval_range(&values, 20, 40);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn max_column_reported() {
+        let cnf = Cnf::new(vec![
+            Clause::single(Predicate::new(2, CmpOp::Lt, 1)),
+            Clause::single(Predicate::new(5, CmpOp::Gt, 1)),
+        ]);
+        assert_eq!(cnf.max_column(), Some(5));
+        assert_eq!(Cnf::always_true().max_column(), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Cost model for the paper's CPU baseline platform: dual 2.8 GHz Intel
+//! Xeon processors with 4-wide SSE2 SIMD (§5).
+//!
+//! Absolute 2004 timings cannot be measured on today's hardware, so — like
+//! the GPU cost model in `gpudb-sim` — this model converts counted work
+//! into modeled seconds. The throughput constants are calibrated against
+//! the paper's own reported ratios (see `EXPERIMENTS.md`):
+//!
+//! * predicate scan: the GPU's compute-only predicate pass (0.278 ms /
+//!   million records) is reported "nearly 20 times faster than a
+//!   compiler-optimized SIMD implementation" (Fig. 3) → CPU scan ≈ 5.6 ms
+//!   per million records (≈ 180 M records/s);
+//! * range scan: "nearly 40 times faster" compute-only (Fig. 4) → ≈ 11 ms
+//!   per million, i.e. the two-comparison scan runs at half the
+//!   single-predicate rate;
+//! * semi-linear query: "9 times faster" than the GPU's ≈ 2.3 ms pass
+//!   (Fig. 6) → ≈ 21 ms per million 4-attribute records;
+//! * SUM: the GPU accumulator is "nearly 20 times slower" (Fig. 10), with
+//!   the GPU taking ≈ 44 ms per million 20-bit values → CPU SUM ≈ 2.2 ms
+//!   per million (≈ 450 M records/s, memory-bandwidth bound);
+//! * QuickSelect: Figures 7–8 put the GPU at ≈ 2× faster overall and
+//!   ≈ 3× compute-only. A per-visited-element cost of ≈ 28 cycles
+//!   (compare + data movement, ~50 % mispredicted branches at the
+//!   17-cycle penalty of §6.2.1, plus out-of-cache partition traffic at
+//!   2004 memory latencies) lands both figures inside the paper's bands
+//!   with our measured 1.5–3.1 visits per element.
+
+use crate::quickselect::SelectStats;
+use serde::{Deserialize, Serialize};
+
+/// Throughput/latency parameters of a modeled CPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuCostModel {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Predicate scan throughput, records per second.
+    pub scan_records_per_sec: f64,
+    /// Range (two-comparison) scan throughput, records per second.
+    pub range_records_per_sec: f64,
+    /// Semi-linear (4-wide dot + compare) throughput, records per second.
+    pub semilinear_records_per_sec: f64,
+    /// SUM throughput, records per second.
+    pub sum_records_per_sec: f64,
+    /// Word-parallel bitmap combine throughput, records per second.
+    pub bitmap_records_per_sec: f64,
+    /// Cycles charged per element visit in branchy selection code
+    /// (QuickSelect), including the expected branch-miss penalty.
+    pub select_cycles_per_visit: f64,
+    /// Throughput of the subset-extraction copy (records per second) the
+    /// CPU pays before selecting over a masked subset (§5.9 Test 3).
+    pub extract_records_per_sec: f64,
+}
+
+impl CpuCostModel {
+    /// The paper's platform: dual 2.8 GHz Xeons, Intel compiler 7.1 with
+    /// vectorization, multithreading and IPO (§5.2).
+    pub fn xeon_2004() -> CpuCostModel {
+        CpuCostModel {
+            name: "dual Intel Xeon 2.8 GHz (modeled, 2004)".to_string(),
+            clock_hz: 2.8e9,
+            scan_records_per_sec: 180e6,
+            range_records_per_sec: 90e6,
+            semilinear_records_per_sec: 48e6,
+            sum_records_per_sec: 450e6,
+            bitmap_records_per_sec: 2.8e9,
+            select_cycles_per_visit: 28.0,
+            extract_records_per_sec: 300e6,
+        }
+    }
+
+    /// Modeled seconds for a single-predicate scan over `n` records.
+    pub fn scan_seconds(&self, n: usize) -> f64 {
+        n as f64 / self.scan_records_per_sec
+    }
+
+    /// Modeled seconds for a range scan over `n` records.
+    pub fn range_seconds(&self, n: usize) -> f64 {
+        n as f64 / self.range_records_per_sec
+    }
+
+    /// Modeled seconds for a semi-linear scan over `n` records with `m`
+    /// attributes (calibrated at m = 4; other widths scale linearly).
+    pub fn semilinear_seconds(&self, n: usize, m: usize) -> f64 {
+        n as f64 * (m as f64 / 4.0) / self.semilinear_records_per_sec
+    }
+
+    /// Modeled seconds for a multi-attribute CNF: one scan per simple
+    /// predicate plus a word-parallel combine per clause.
+    pub fn cnf_seconds(&self, n: usize, predicates: usize, clauses: usize) -> f64 {
+        predicates as f64 * self.scan_seconds(n)
+            + clauses as f64 * n as f64 / self.bitmap_records_per_sec
+    }
+
+    /// Modeled seconds to SUM `n` records.
+    pub fn sum_seconds(&self, n: usize) -> f64 {
+        n as f64 / self.sum_records_per_sec
+    }
+
+    /// Modeled seconds for a QuickSelect run, priced from its instrumented
+    /// work counters.
+    pub fn select_seconds(&self, stats: &SelectStats) -> f64 {
+        stats.visits as f64 * self.select_cycles_per_visit / self.clock_hz
+    }
+
+    /// Modeled seconds to extract `n` selected records into a dense array.
+    pub fn extract_seconds(&self, n: usize) -> f64 {
+        n as f64 / self.extract_records_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_scan_vs_paper_figure3() {
+        // GPU compute-only predicate: 0.278 ms per million. Paper: CPU is
+        // ~20x slower.
+        let cpu = CpuCostModel::xeon_2004();
+        let ratio = cpu.scan_seconds(1_000_000) / 0.278e-3;
+        assert!((15.0..25.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn calibration_range_vs_paper_figure4() {
+        let cpu = CpuCostModel::xeon_2004();
+        let ratio = cpu.range_seconds(1_000_000) / 0.278e-3;
+        assert!((35.0..45.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn calibration_sum_vs_paper_figure10() {
+        // GPU accumulator on 1M values, 20 bit-planes: each pass shades
+        // every fragment with the 7-cycle TestBit program.
+        let cpu = CpuCostModel::xeon_2004();
+        let gpu_pass = 1_000_000.0 * 7.0 / (8.0 * 450e6);
+        let gpu_total = 20.0 * (gpu_pass + 0.07e-3);
+        let ratio = gpu_total / cpu.sum_seconds(1_000_000);
+        assert!((10.0..30.0).contains(&ratio), "GPU/CPU SUM ratio {ratio}");
+    }
+
+    #[test]
+    fn range_costs_about_twice_a_scan() {
+        let cpu = CpuCostModel::xeon_2004();
+        let r = cpu.range_seconds(1000) / cpu.scan_seconds(1000);
+        assert!((1.8..2.2).contains(&r));
+    }
+
+    #[test]
+    fn cnf_scales_with_predicates() {
+        let cpu = CpuCostModel::xeon_2004();
+        let one = cpu.cnf_seconds(1_000_000, 1, 1);
+        let four = cpu.cnf_seconds(1_000_000, 4, 4);
+        assert!(four > 3.5 * one && four < 4.5 * one);
+    }
+
+    #[test]
+    fn select_priced_from_visits() {
+        let cpu = CpuCostModel::xeon_2004();
+        let stats = SelectStats {
+            visits: 2_800_000,
+            partitions: 10,
+            swaps: 100,
+        };
+        // 2.8M visits × 28 cycles at 2.8 GHz = 28 ms.
+        assert!((cpu.select_seconds(&stats) - 28e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semilinear_scales_with_attribute_count() {
+        let cpu = CpuCostModel::xeon_2004();
+        assert!(
+            (cpu.semilinear_seconds(1000, 8) / cpu.semilinear_seconds(1000, 4) - 2.0).abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Multithreaded scan variants.
+//!
+//! The paper's CPU baseline enables the Intel compiler's `-QParallel`
+//! multithreading on dual hyper-threaded Xeons (§5.2). These helpers
+//! partition a column across threads with `crossbeam::scope` and stitch the
+//! per-chunk bitmaps together; chunk boundaries are multiples of 64 so each
+//! worker owns whole bitmap words.
+
+use crate::bitmap::Bitmap;
+use crate::scan::{scan_u32, CmpOp};
+
+/// Scan a column with up to `threads` worker threads.
+///
+/// Falls back to the sequential scan for small inputs where thread startup
+/// dominates. The result is identical to [`scan_u32`].
+pub fn par_scan_u32(values: &[u32], op: CmpOp, constant: u32, threads: usize) -> Bitmap {
+    let threads = threads.max(1);
+    const MIN_PER_THREAD: usize = 1 << 14;
+    if threads == 1 || values.len() < 2 * MIN_PER_THREAD {
+        return scan_u32(values, op, constant);
+    }
+    // Chunk sizes are multiples of 64 so each chunk's bitmap words can be
+    // copied verbatim into the output.
+    let chunks = threads.min(values.len() / MIN_PER_THREAD).max(1);
+    let chunk_len = (values.len() / chunks + 63) & !63;
+
+    let mut partials: Vec<Option<Bitmap>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut start = 0usize;
+        while start < values.len() {
+            let end = (start + chunk_len).min(values.len());
+            let slice = &values[start..end];
+            handles.push(scope.spawn(move |_| scan_u32(slice, op, constant)));
+            start = end;
+        }
+        partials = handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("scan worker panicked")))
+            .collect();
+    })
+    .expect("scan scope panicked");
+
+    let mut out = Bitmap::zeros(values.len());
+    let mut word_offset = 0usize;
+    for partial in partials.into_iter().flatten() {
+        for (i, &w) in partial.words().iter().enumerate() {
+            out.set_word(word_offset + i, w);
+        }
+        word_offset += partial.len().div_ceil(64);
+    }
+    out
+}
+
+/// Parallel count of matches, merging per-chunk counts.
+pub fn par_count_u32(values: &[u32], op: CmpOp, constant: u32, threads: usize) -> usize {
+    let threads = threads.max(1);
+    const MIN_PER_THREAD: usize = 1 << 14;
+    if threads == 1 || values.len() < 2 * MIN_PER_THREAD {
+        return crate::scan::count_u32(values, op, constant);
+    }
+    let chunks = threads.min(values.len() / MIN_PER_THREAD).max(1);
+    let chunk_len = values.len().div_ceil(chunks);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in values.chunks(chunk_len) {
+            handles.push(scope.spawn(move |_| crate::scan::count_u32(chunk, op, constant)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("count worker panicked"))
+            .sum()
+    })
+    .expect("count scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let values: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = par_scan_u32(&values, CmpOp::Ge, 400, threads);
+            let seq = scan_u32(&values, CmpOp::Ge, 400);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let values: Vec<u32> = (0..150_000u32).map(|i| i % 777).collect();
+        for threads in [1, 3, 7] {
+            assert_eq!(
+                par_count_u32(&values, CmpOp::Lt, 400, threads),
+                crate::scan::count_u32(&values, CmpOp::Lt, 400),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_inputs_use_sequential_path() {
+        let values: Vec<u32> = (0..100).collect();
+        let par = par_scan_u32(&values, CmpOp::Lt, 50, 8);
+        assert_eq!(par.count_ones(), 50);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let values: Vec<u32> = (0..100).collect();
+        assert_eq!(par_count_u32(&values, CmpOp::Lt, 10, 0), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(par_scan_u32(&[], CmpOp::Lt, 1, 4).is_empty());
+        assert_eq!(par_count_u32(&[], CmpOp::Lt, 1, 4), 0);
+    }
+}

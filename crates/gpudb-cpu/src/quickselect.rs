@@ -1,0 +1,216 @@
+//! `QuickSelect` — Hoare's FIND (the paper's reference \[14\]), the CPU
+//! baseline for `KthLargest` in Figures 7–9.
+//!
+//! The implementation is instrumented: it counts element visits and
+//! partition passes so the 2004 Xeon cost model can price the branchy,
+//! data-dependent control flow that the paper contrasts with the GPU's
+//! branch-free bit-descent ("these algorithms ... may lead to branch
+//! mispredictions on the CPU", §4.3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Work counters from a selection run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectStats {
+    /// Total elements examined across all partition passes.
+    pub visits: u64,
+    /// Number of partition passes.
+    pub partitions: u64,
+    /// Number of element swaps performed.
+    pub swaps: u64,
+}
+
+/// Find the k-th largest value (1-based: `k = 1` is the maximum) using
+/// in-place Hoare partitioning on `data`, which is reordered.
+///
+/// Returns `None` when `k` is 0 or exceeds `data.len()`.
+pub fn kth_largest_in_place(data: &mut [u32], k: usize) -> (Option<u32>, SelectStats) {
+    let mut stats = SelectStats::default();
+    if k == 0 || k > data.len() {
+        return (None, stats);
+    }
+    // k-th largest == element at index (len - k) in ascending order.
+    let target = data.len() - k;
+    let mut lo = 0usize;
+    let mut hi = data.len() - 1;
+    loop {
+        if lo == hi {
+            return (Some(data[lo]), stats);
+        }
+        let pivot = median_of_three(data[lo], data[lo + (hi - lo) / 2], data[hi]);
+        let (mut i, mut j) = (lo, hi);
+        stats.partitions += 1;
+        // Hoare partition.
+        loop {
+            while data[i] < pivot {
+                i += 1;
+                stats.visits += 1;
+            }
+            stats.visits += 1;
+            while data[j] > pivot {
+                j -= 1;
+                stats.visits += 1;
+            }
+            stats.visits += 1;
+            if i >= j {
+                break;
+            }
+            data.swap(i, j);
+            stats.swaps += 1;
+            i += 1;
+            j = j.saturating_sub(1);
+        }
+        if target <= j {
+            hi = j;
+        } else {
+            lo = j + 1;
+        }
+    }
+}
+
+/// Find the k-th largest value on a scratch copy, leaving the input
+/// untouched — the usage shape of the paper's experiments, where the CPU
+/// baseline also pays for the copy when operating on selected subsets
+/// (§5.9, Test 3).
+pub fn kth_largest(data: &[u32], k: usize) -> Option<u32> {
+    let mut scratch = data.to_vec();
+    kth_largest_in_place(&mut scratch, k).0
+}
+
+/// Instrumented variant of [`kth_largest`].
+pub fn kth_largest_instrumented(data: &[u32], k: usize) -> (Option<u32>, SelectStats) {
+    let mut scratch = data.to_vec();
+    kth_largest_in_place(&mut scratch, k)
+}
+
+/// The k-th *smallest* value (1-based).
+pub fn kth_smallest(data: &[u32], k: usize) -> Option<u32> {
+    if k == 0 || k > data.len() {
+        return None;
+    }
+    kth_largest(data, data.len() + 1 - k)
+}
+
+/// The median: the ⌈n/2⌉-th smallest value (lower median).
+pub fn median(data: &[u32]) -> Option<u32> {
+    if data.is_empty() {
+        return None;
+    }
+    kth_smallest(data, data.len().div_ceil(2))
+}
+
+#[inline(always)]
+fn median_of_three(a: u32, b: u32, c: u32) -> u32 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_kth_largest(data: &[u32], k: usize) -> Option<u32> {
+        if k == 0 || k > data.len() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() - k])
+    }
+
+    #[test]
+    fn median_of_three_is_median() {
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let mut v = [a, b, c];
+                    v.sort_unstable();
+                    assert_eq!(median_of_three(a, b, c), v[1], "{a} {b} {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kth_largest_matches_sort_reference() {
+        let data: Vec<u32> = (0..500).map(|i: u32| i.wrapping_mul(2654435761) % 1000).collect();
+        for k in [1, 2, 5, 100, 250, 499, 500] {
+            assert_eq!(
+                kth_largest(&data, k),
+                reference_kth_largest(&data, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_k() {
+        let data = vec![5u32, 3, 8];
+        assert_eq!(kth_largest(&data, 0), None);
+        assert_eq!(kth_largest(&data, 4), None);
+        assert_eq!(kth_largest(&[], 1), None);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let data = vec![7u32; 100];
+        assert_eq!(kth_largest(&data, 1), Some(7));
+        assert_eq!(kth_largest(&data, 50), Some(7));
+        assert_eq!(kth_largest(&data, 100), Some(7));
+
+        let data = vec![1u32, 2, 2, 2, 3];
+        assert_eq!(kth_largest(&data, 1), Some(3));
+        assert_eq!(kth_largest(&data, 2), Some(2));
+        assert_eq!(kth_largest(&data, 4), Some(2));
+        assert_eq!(kth_largest(&data, 5), Some(1));
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_inputs() {
+        let asc: Vec<u32> = (0..1000).collect();
+        let desc: Vec<u32> = (0..1000).rev().collect();
+        for k in [1, 10, 500, 1000] {
+            assert_eq!(kth_largest(&asc, k), Some(1000 - k as u32));
+            assert_eq!(kth_largest(&desc, k), Some(1000 - k as u32));
+        }
+    }
+
+    #[test]
+    fn kth_smallest_and_median() {
+        let data = vec![9u32, 1, 8, 2, 7, 3, 6, 4, 5];
+        assert_eq!(kth_smallest(&data, 1), Some(1));
+        assert_eq!(kth_smallest(&data, 9), Some(9));
+        assert_eq!(median(&data), Some(5));
+        // Even length: lower median.
+        let data = vec![4u32, 1, 3, 2];
+        assert_eq!(median(&data), Some(2));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn input_not_modified_by_copy_variant() {
+        let data = vec![3u32, 1, 2];
+        let _ = kth_largest(&data, 2);
+        assert_eq!(data, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn stats_report_linear_work() {
+        let data: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let (value, stats) = kth_largest_instrumented(&data, 50_000);
+        assert_eq!(value, reference_kth_largest(&data, 50_000));
+        assert!(stats.partitions > 0);
+        // Expected linear-time behavior: visits within a small multiple of n.
+        assert!(
+            stats.visits < 12 * data.len() as u64,
+            "visits {} look superlinear",
+            stats.visits
+        );
+        assert!(stats.visits >= data.len() as u64);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(kth_largest(&[42], 1), Some(42));
+        assert_eq!(median(&[42]), Some(42));
+    }
+}

@@ -1,0 +1,110 @@
+//! CPU baseline for semi-linear queries: `dot(s, a) op b` per record
+//! (§4.1.2 of the paper).
+//!
+//! The dot product is computed in `f32`, matching the GPU's fragment
+//! processors exactly, so the CPU baseline and the GPU implementation agree
+//! bit-for-bit on boundary cases and tests can compare their selections
+//! directly.
+
+use crate::bitmap::Bitmap;
+use crate::scan::CmpOp;
+
+/// Evaluate `sum_j s[j] * columns[j][i]  op  b` for every record `i`.
+///
+/// `columns` are the attribute columns (structure-of-arrays); `s` must have
+/// the same length as `columns`. Panics if lengths are inconsistent.
+pub fn semilinear_scan(columns: &[&[u32]], s: &[f32], op: CmpOp, b: f32) -> Bitmap {
+    assert_eq!(
+        columns.len(),
+        s.len(),
+        "coefficient count must match column count"
+    );
+    let len = columns.first().map_or(0, |c| c.len());
+    assert!(
+        columns.iter().all(|c| c.len() == len),
+        "columns must have equal length"
+    );
+    Bitmap::from_fn(len, |i| op.eval(dot_f32(columns, s, i), b))
+}
+
+/// Count records satisfying the semi-linear predicate without materializing
+/// the selection.
+pub fn semilinear_count(columns: &[&[u32]], s: &[f32], op: CmpOp, b: f32) -> usize {
+    assert_eq!(columns.len(), s.len());
+    let len = columns.first().map_or(0, |c| c.len());
+    (0..len)
+        .filter(|&i| op.eval(dot_f32(columns, s, i), b))
+        .count()
+}
+
+/// The f32 dot product for one record, in the same accumulation order the
+/// GPU's `DP4` uses (pairwise left-to-right).
+#[inline(always)]
+pub fn dot_f32(columns: &[&[u32]], s: &[f32], row: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for (col, &coeff) in columns.iter().zip(s) {
+        acc += coeff * col[row] as f32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_columns() -> Vec<Vec<u32>> {
+        (0..4)
+            .map(|c| (0..100u32).map(|i| (i * (c + 3) + c * 17) % 50).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_rowwise_reference() {
+        let cols = make_columns();
+        let refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let s = [0.5f32, -1.25, 2.0, 0.75];
+        for op in CmpOp::ALL {
+            let bm = semilinear_scan(&refs, &s, op, 10.0);
+            for i in 0..100 {
+                let dot: f32 = s.iter().zip(&cols).map(|(&c, col)| c * col[i] as f32).sum();
+                assert_eq!(bm.get(i), op.eval(dot, 10.0), "op {op:?} row {i}");
+            }
+            assert_eq!(bm.count_ones(), semilinear_count(&refs, &s, op, 10.0));
+        }
+    }
+
+    #[test]
+    fn attribute_comparison_as_semilinear() {
+        // a_i op a_j rewritten as a_i - a_j op 0 (§4.1.2).
+        let a: Vec<u32> = vec![5, 10, 15, 20];
+        let b: Vec<u32> = vec![7, 10, 12, 25];
+        let bm = semilinear_scan(&[&a, &b], &[1.0, -1.0], CmpOp::Gt, 0.0);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![2]);
+        let bm = semilinear_scan(&[&a, &b], &[1.0, -1.0], CmpOp::Eq, 0.0);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn empty_columns() {
+        let bm = semilinear_scan(&[], &[], CmpOp::Lt, 0.0);
+        assert!(bm.is_empty());
+        let empty: &[u32] = &[];
+        let bm = semilinear_scan(&[empty], &[1.0], CmpOp::Lt, 0.0);
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient count")]
+    fn coefficient_mismatch_panics() {
+        let a: Vec<u32> = vec![1];
+        semilinear_scan(&[&a], &[1.0, 2.0], CmpOp::Lt, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_columns_panic() {
+        let a: Vec<u32> = vec![1, 2];
+        let b: Vec<u32> = vec![1];
+        semilinear_scan(&[&a, &b], &[1.0, 1.0], CmpOp::Lt, 0.0);
+    }
+}

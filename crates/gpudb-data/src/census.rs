@@ -1,0 +1,115 @@
+//! Synthetic census database.
+//!
+//! The paper's second benchmark is "a census database \[6\] consisting of
+//! monthly income information" with 360 K records and four attributes used
+//! per record (§5.1). The Census Bureau CPS extract is not bundled here;
+//! this generator synthesizes a demographically-shaped table: log-normal
+//! income, working-age distribution, weekly hours clustered at full-time,
+//! and small household sizes.
+
+use crate::dataset::{Column, Dataset};
+use crate::distributions::{lognormal, standard_normal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of records in the paper's census database.
+pub const PAPER_RECORD_COUNT: usize = 360_000;
+
+/// Attribute names, in column order.
+pub const ATTRIBUTES: [&str; 4] = ["monthly_income", "age", "weekly_hours", "household_size"];
+
+/// Generate a synthetic census table with `records` records.
+pub fn generate(records: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut income = Vec::with_capacity(records);
+    let mut age = Vec::with_capacity(records);
+    let mut hours = Vec::with_capacity(records);
+    let mut household = Vec::with_capacity(records);
+
+    for _ in 0..records {
+        // Monthly income in dollars: log-normal around ~3k, capped at the
+        // 24-bit limit.
+        income.push(lognormal(&mut rng, 8.0, 0.7, (1 << 24) - 1));
+
+        // Age 16..=90, roughly normal around 42.
+        let a = (42.0 + 14.0 * standard_normal(&mut rng)).clamp(16.0, 90.0);
+        age.push(a as u32);
+
+        // Weekly hours: mixture of full-time (40), part-time, and zero.
+        let h = match rng.gen_range(0..10) {
+            0..=5 => 40 + rng.gen_range(0..10),
+            6..=7 => rng.gen_range(10..35),
+            8 => 0,
+            _ => rng.gen_range(45..80),
+        };
+        hours.push(h);
+
+        // Household size 1..=8, geometric-ish.
+        let mut size = 1u32;
+        while size < 8 && rng.gen_bool(0.55) {
+            size += 1;
+        }
+        household.push(size);
+    }
+
+    Dataset::new(
+        "census",
+        vec![
+            Column::new(ATTRIBUTES[0], income),
+            Column::new(ATTRIBUTES[1], age),
+            Column::new(ATTRIBUTES[2], hours),
+            Column::new(ATTRIBUTES[3], household),
+        ],
+    )
+}
+
+/// The paper-scale table: 360 K records.
+pub fn generate_paper_scale(seed: u64) -> Dataset {
+    generate(PAPER_RECORD_COUNT, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper() {
+        let ds = generate(500, 1);
+        assert_eq!(ds.attribute_count(), 4);
+        for (col, name) in ds.columns.iter().zip(ATTRIBUTES) {
+            assert_eq!(col.name, name);
+        }
+    }
+
+    #[test]
+    fn ranges_are_plausible() {
+        let ds = generate(50_000, 2);
+        let age = &ds.column("age").unwrap().values;
+        assert!(age.iter().all(|&a| (16..=90).contains(&a)));
+        let hh = &ds.column("household_size").unwrap().values;
+        assert!(hh.iter().all(|&h| (1..=8).contains(&h)));
+        let hours = &ds.column("weekly_hours").unwrap().values;
+        assert!(hours.iter().all(|&h| h < 80));
+        // Full-time spike: at least a third work 40-49 hours.
+        let fulltime = hours.iter().filter(|&&h| (40..50).contains(&h)).count();
+        assert!(fulltime * 3 > hours.len());
+    }
+
+    #[test]
+    fn income_right_skewed() {
+        let ds = generate(50_000, 3);
+        let inc = &ds.column("monthly_income").unwrap().values;
+        let mean = inc.iter().map(|&v| v as f64).sum::<f64>() / inc.len() as f64;
+        let mut sorted = inc.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!(mean > median, "income should be right-skewed");
+        assert!(ds.column("monthly_income").unwrap().bits_required() <= 24);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(generate(100, 9), generate(100, 9));
+    }
+}

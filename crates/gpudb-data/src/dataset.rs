@@ -1,0 +1,163 @@
+//! Columnar dataset container shared by all generators.
+
+use serde::{Deserialize, Serialize};
+
+/// A named attribute column of unsigned integers (≤ 24 bits per value, the
+/// GPU texture encoding limit).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Attribute name.
+    pub name: String,
+    /// Per-record values.
+    pub values: Vec<u32>,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: impl Into<String>, values: Vec<u32>) -> Column {
+        Column {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Minimum number of bits needed to represent the largest value (the
+    /// `b_max` of the paper's bitwise algorithms); 0 for an all-zero or
+    /// empty column.
+    pub fn bits_required(&self) -> u32 {
+        self.values
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |max| 32 - max.leading_zeros())
+    }
+}
+
+/// A relational table in columnar (structure-of-arrays) form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: String,
+    /// Attribute columns, all of equal length.
+    pub columns: Vec<Column>,
+}
+
+impl Dataset {
+    /// Construct a dataset, validating that all columns have equal length.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Dataset {
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "all columns must have equal length"
+            );
+        }
+        Dataset {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Number of records.
+    pub fn record_count(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of attributes.
+    pub fn attribute_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Borrow all columns as slices, in declaration order (the shape the
+    /// CPU baselines take).
+    pub fn column_slices(&self) -> Vec<&[u32]> {
+        self.columns.iter().map(|c| c.values.as_slice()).collect()
+    }
+
+    /// Truncate every column to the first `n` records (no-op if `n` is
+    /// larger than the dataset). Used for record-count sweeps.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset {
+            name: format!("{}[..{}]", self.name, n.min(self.record_count())),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column::new(c.name.clone(), c.values[..n.min(c.len())].to_vec()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_bits_required() {
+        assert_eq!(Column::new("a", vec![]).bits_required(), 0);
+        assert_eq!(Column::new("a", vec![0]).bits_required(), 0);
+        assert_eq!(Column::new("a", vec![1]).bits_required(), 1);
+        assert_eq!(Column::new("a", vec![255]).bits_required(), 8);
+        assert_eq!(Column::new("a", vec![256]).bits_required(), 9);
+        assert_eq!(Column::new("a", vec![(1 << 19) - 1]).bits_required(), 19);
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let ds = Dataset::new(
+            "t",
+            vec![
+                Column::new("x", vec![1, 2, 3]),
+                Column::new("y", vec![4, 5, 6]),
+            ],
+        );
+        assert_eq!(ds.record_count(), 3);
+        assert_eq!(ds.attribute_count(), 2);
+        assert_eq!(ds.column("y").unwrap().values, vec![4, 5, 6]);
+        assert!(ds.column("z").is_none());
+        assert_eq!(ds.column_slices()[0], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_columns_rejected() {
+        Dataset::new(
+            "t",
+            vec![Column::new("x", vec![1]), Column::new("y", vec![1, 2])],
+        );
+    }
+
+    #[test]
+    fn truncation() {
+        let ds = Dataset::new("t", vec![Column::new("x", (0..100).collect())]);
+        let t = ds.truncated(10);
+        assert_eq!(t.record_count(), 10);
+        assert_eq!(t.columns[0].values, (0..10).collect::<Vec<u32>>());
+        // Oversized truncation is a no-op.
+        assert_eq!(ds.truncated(1000).record_count(), 100);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new("empty", vec![]);
+        assert_eq!(ds.record_count(), 0);
+        assert_eq!(ds.attribute_count(), 0);
+    }
+}

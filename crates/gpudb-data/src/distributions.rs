@@ -1,0 +1,155 @@
+//! Random value distributions for synthetic workloads.
+//!
+//! The paper evaluates on a proprietary TCP/IP monitoring trace and a
+//! census extract, neither of which is redistributable. These distribution
+//! helpers generate synthetic columns with the statistical properties the
+//! paper states (e.g. `data_count` "requires 19 bits to represent the
+//! largest data value and has a high variance", §5.9), clamped to the
+//! 24-bit range the GPU encoding requires.
+
+use rand::Rng;
+
+/// The largest attribute value the GPU data representation can hold
+/// exactly (24-bit integers in f32 textures, §3.3).
+pub const MAX_ATTRIBUTE: u32 = (1 << 24) - 1;
+
+/// Uniform integer in `[0, 2^bits)`, clamped to the 24-bit domain.
+pub fn uniform_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> u32 {
+    let bits = bits.min(24);
+    if bits == 0 {
+        0
+    } else {
+        rng.gen_range(0..(1u32 << bits))
+    }
+}
+
+/// Sample from a log-normal-shaped distribution (`exp(mu + sigma * z)` with
+/// standard normal `z`), clamped to `[0, max]` — high-variance and
+/// heavy-tailed, like packet/byte counts in network traces.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, max: u32) -> u32 {
+    let z = standard_normal(rng);
+    let v = (mu + sigma * z).exp();
+    if v >= max as f64 {
+        max
+    } else {
+        v as u32
+    }
+}
+
+/// Sample from an exponential distribution with the given mean, clamped to
+/// `[0, max]` — the classic model for inter-arrival-like counts.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64, max: u32) -> u32 {
+    // Inverse CDF; guard against ln(0).
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let v = -mean * u.ln();
+    if v >= max as f64 {
+        max
+    } else {
+        v as u32
+    }
+}
+
+/// A standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Zipf-distributed rank in `[0, n)` with exponent `s` (rejection-free
+/// inverse-CDF over a precomputed table is overkill here; this uses the
+/// standard approximate inversion adequate for workload skew).
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-transform on the continuous approximation of the Zipf CDF.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    if (s - 1.0).abs() < 1e-9 {
+        let h_n = (n as f64).ln();
+        ((u * h_n).exp() - 1.0).min(n as f64 - 1.0) as usize
+    } else {
+        let p = 1.0 - s;
+        let h_n = ((n as f64).powf(p) - 1.0) / p;
+        (((u * h_n * p + 1.0).powf(1.0 / p)) - 1.0).min(n as f64 - 1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_bits_in_range() {
+        let mut r = rng();
+        for bits in [0u32, 1, 8, 19, 24, 30] {
+            let effective = bits.min(24);
+            for _ in 0..200 {
+                let v = uniform_bits(&mut r, bits);
+                assert!(effective == 0 || v < (1 << effective), "bits {bits} v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_clamped_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<u32> = (0..20_000).map(|_| lognormal(&mut r, 9.0, 1.5, MAX_ATTRIBUTE)).collect();
+        assert!(samples.iter().all(|&v| v <= MAX_ATTRIBUTE));
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        // Right-skew: mean well above median.
+        assert!(mean > 1.2 * median, "mean {mean}, median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_approximately_correct() {
+        let mut r = rng();
+        let mean_param = 1000.0;
+        let samples: Vec<u32> = (0..50_000)
+            .map(|_| exponential(&mut r, mean_param, MAX_ATTRIBUTE))
+            .collect();
+        let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        assert!((mean - mean_param).abs() < 0.05 * mean_param, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..100_000).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let mut r = rng();
+        let n = 1000;
+        let samples: Vec<usize> = (0..50_000).map(|_| zipf(&mut r, n, 1.2)).collect();
+        assert!(samples.iter().all(|&v| v < n));
+        let low_ranks = samples.iter().filter(|&&v| v < 10).count();
+        // Heavy head: the first 1% of ranks receive far more than 1% of mass.
+        assert!(
+            low_ranks > samples.len() / 10,
+            "low-rank share {low_ranks} of {}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(zipf(&mut r, 1, 1.5), 0);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # gpudb-data — workload generators
+//!
+//! Synthetic stand-ins for the two databases the SIGMOD 2004 paper
+//! benchmarks on (§5.1): a one-million-record TCP/IP monitoring trace and
+//! a 360 K-record census extract. Neither original dataset is
+//! redistributable, so the generators here reproduce the *stated*
+//! statistical properties (attribute count, bit widths, variance, skew)
+//! that the paper's algorithms are sensitive to — see `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! Also includes the percentile machinery used to pin predicate and range
+//! selectivities at exactly the paper's 60 % / 80 % settings.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod census;
+pub mod dataset;
+pub mod distributions;
+pub mod selectivity;
+pub mod tcpip;
+
+pub use dataset::{Column, Dataset};

@@ -1,0 +1,113 @@
+//! Exact selectivity control.
+//!
+//! The paper fixes selectivities precisely ("To ensure 60% selectivity, we
+//! set the valid range of values between the 20th percentile and 80th
+//! percentile of the data values", §5.6). These helpers compute the
+//! percentile thresholds that realize a target selectivity for each
+//! predicate shape.
+
+/// The value at percentile `p` (0.0–1.0) of `values` using the
+/// nearest-rank definition on a sorted copy. `None` for an empty slice.
+pub fn percentile(values: &[u32], p: f64) -> Option<u32> {
+    if values.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    // Nearest-rank: ceil(p * n), 1-based; percentile 0 is the minimum.
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Threshold `c` such that the predicate `value >= c` has selectivity as
+/// close as possible to `target` (fraction in 0..=1). Returns the constant
+/// and the achieved selectivity.
+pub fn threshold_for_ge(values: &[u32], target: f64) -> Option<(u32, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    // `value >= c` keeps the top `target` fraction: c is at percentile
+    // (1 - target). Duplicates can shift the achieved selectivity; report
+    // it so callers can assert tolerance.
+    let c = percentile(values, 1.0 - target)?;
+    let achieved = values.iter().filter(|&&v| v >= c).count() as f64 / values.len() as f64;
+    Some((c, achieved))
+}
+
+/// Range `[low, high]` such that `low <= value <= high` has selectivity as
+/// close as possible to `target`, centered (the paper's 20th–80th
+/// percentile construction for 60%). Returns the bounds and the achieved
+/// selectivity.
+pub fn range_for_selectivity(values: &[u32], target: f64) -> Option<(u32, u32, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let margin = (1.0 - target.clamp(0.0, 1.0)) / 2.0;
+    let low = percentile(values, margin)?;
+    let high = percentile(values, 1.0 - margin)?;
+    let achieved = values
+        .iter()
+        .filter(|&&v| v >= low && v <= high)
+        .count() as f64
+        / values.len() as f64;
+    Some((low, high, achieved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let values: Vec<u32> = (1..=100).collect();
+        assert_eq!(percentile(&values, 0.0), Some(1));
+        assert_eq!(percentile(&values, 0.01), Some(1));
+        assert_eq!(percentile(&values, 0.5), Some(50));
+        assert_eq!(percentile(&values, 1.0), Some(100));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn ge_threshold_hits_target_on_distinct_values() {
+        let values: Vec<u32> = (0..10_000).map(|i| i * 3 + 1).collect();
+        let (c, achieved) = threshold_for_ge(&values, 0.6).unwrap();
+        assert!((achieved - 0.6).abs() < 0.001, "achieved {achieved}");
+        assert!(values.iter().filter(|&&v| v >= c).count() == 6_000 || achieved != 0.6);
+    }
+
+    #[test]
+    fn range_matches_paper_construction() {
+        // §5.6: 60% selectivity via [p20, p80].
+        let values: Vec<u32> = (0..10_000).collect();
+        let (low, high, achieved) = range_for_selectivity(&values, 0.6).unwrap();
+        assert!((achieved - 0.6).abs() < 0.01, "achieved {achieved}");
+        assert!(low < high);
+        // Roughly the 20th and 80th percentiles.
+        assert!((low as f64 - 2000.0).abs() < 50.0, "low {low}");
+        assert!((high as f64 - 8000.0).abs() < 50.0, "high {high}");
+    }
+
+    #[test]
+    fn heavy_duplicates_reported_honestly() {
+        // With massive duplication the achievable selectivity is coarse;
+        // the helper must report the true achieved fraction.
+        let values = vec![5u32; 1000];
+        let (c, achieved) = threshold_for_ge(&values, 0.6).unwrap();
+        assert_eq!(c, 5);
+        assert_eq!(achieved, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(threshold_for_ge(&[], 0.5), None);
+        assert_eq!(range_for_selectivity(&[], 0.5), None);
+    }
+
+    #[test]
+    fn full_and_zero_selectivity_ranges() {
+        let values: Vec<u32> = (0..1000).collect();
+        let (_, _, achieved) = range_for_selectivity(&values, 1.0).unwrap();
+        assert!(achieved > 0.99);
+    }
+}

@@ -1,0 +1,155 @@
+//! Synthetic TCP/IP monitoring trace.
+//!
+//! The paper's main benchmark database is "TCP/IP data for monitoring
+//! traffic patterns in local area network and wide area network" with one
+//! million records of four attributes:
+//! `(data_count, data_loss, flow_rate, retransmissions)` (§5.1). The
+//! original trace (courtesy of Jasleen Sahni, per the acknowledgements) is
+//! not available; this generator synthesizes a trace with the properties
+//! the paper reports:
+//!
+//! * `data_count` "requires 19 bits to represent the largest data value and
+//!   has a high variance" (§5.9) — modeled as a log-normal byte count
+//!   clamped to 19 bits;
+//! * `data_loss` and `retransmissions` are small, bursty counts correlated
+//!   with `data_count` — modeled as binomial-like fractions of it;
+//! * `flow_rate` is a rate in a moderate range, weakly correlated with
+//!   `data_count`.
+
+use crate::dataset::{Column, Dataset};
+use crate::distributions::{exponential, lognormal, standard_normal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of records in the paper's TCP/IP database.
+pub const PAPER_RECORD_COUNT: usize = 1_000_000;
+
+/// Bit width of the paper's `data_count` attribute (§5.9).
+pub const DATA_COUNT_BITS: u32 = 19;
+
+/// Attribute names, in column order.
+pub const ATTRIBUTES: [&str; 4] = ["data_count", "data_loss", "flow_rate", "retransmissions"];
+
+/// Generate a synthetic TCP/IP trace with `records` records.
+pub fn generate(records: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_count = (1u32 << DATA_COUNT_BITS) - 1;
+
+    let mut data_count = Vec::with_capacity(records);
+    let mut data_loss = Vec::with_capacity(records);
+    let mut flow_rate = Vec::with_capacity(records);
+    let mut retransmissions = Vec::with_capacity(records);
+
+    for _ in 0..records {
+        // Byte count: log-normal, high variance, 19-bit max.
+        let count = lognormal(&mut rng, 10.2, 1.6, max_count);
+        data_count.push(count);
+
+        // Loss: usually zero, occasionally a small fraction of the count.
+        let loss = if rng.gen_bool(0.35) {
+            let frac: f64 = rng.gen_range(0.0..0.02);
+            (count as f64 * frac) as u32
+        } else {
+            0
+        };
+        data_loss.push(loss.min(max_count));
+
+        // Flow rate: exponential with a floor, weakly coupled to count.
+        let base = exponential(&mut rng, 6_000.0, (1 << 16) - 1);
+        let coupled = base as f64 * (1.0 + 0.1 * standard_normal(&mut rng)).clamp(0.5, 2.0)
+            + (count as f64).sqrt();
+        flow_rate.push((coupled as u32).min(max_count));
+
+        // Retransmissions: proportional to loss plus noise.
+        let retrans = loss / 2 + exponential(&mut rng, 1.5, 255);
+        retransmissions.push(retrans.min(max_count));
+    }
+
+    Dataset::new(
+        "tcpip",
+        vec![
+            Column::new(ATTRIBUTES[0], data_count),
+            Column::new(ATTRIBUTES[1], data_loss),
+            Column::new(ATTRIBUTES[2], flow_rate),
+            Column::new(ATTRIBUTES[3], retransmissions),
+        ],
+    )
+}
+
+/// The paper-scale trace: one million records.
+pub fn generate_paper_scale(seed: u64) -> Dataset {
+    generate(PAPER_RECORD_COUNT, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper() {
+        let ds = generate(1000, 7);
+        assert_eq!(ds.attribute_count(), 4);
+        for (col, name) in ds.columns.iter().zip(ATTRIBUTES) {
+            assert_eq!(col.name, name);
+            assert_eq!(col.len(), 1000);
+        }
+    }
+
+    #[test]
+    fn data_count_uses_19_bits_with_high_variance() {
+        let ds = generate(200_000, 11);
+        let dc = &ds.column("data_count").unwrap().values;
+        let bits = ds.column("data_count").unwrap().bits_required();
+        assert_eq!(bits, DATA_COUNT_BITS, "largest value should need 19 bits");
+        let mean = dc.iter().map(|&v| v as f64).sum::<f64>() / dc.len() as f64;
+        let var = dc
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / dc.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.0, "coefficient of variation {cv} not high-variance");
+    }
+
+    #[test]
+    fn values_fit_24_bits() {
+        let ds = generate(50_000, 3);
+        for col in &ds.columns {
+            assert!(col.bits_required() <= 24, "{} too wide", col.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(generate(1000, 5), generate(1000, 5));
+        assert_ne!(generate(1000, 5), generate(1000, 6));
+    }
+
+    #[test]
+    fn loss_correlates_with_count() {
+        let ds = generate(100_000, 13);
+        let count = &ds.column("data_count").unwrap().values;
+        let loss = &ds.column("data_loss").unwrap().values;
+        // Pearson correlation should be clearly positive.
+        let n = count.len() as f64;
+        let mc = count.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let ml = loss.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let cov: f64 = count
+            .iter()
+            .zip(loss)
+            .map(|(&c, &l)| (c as f64 - mc) * (l as f64 - ml))
+            .sum::<f64>()
+            / n;
+        let sc = (count.iter().map(|&v| (v as f64 - mc).powi(2)).sum::<f64>() / n).sqrt();
+        let sl = (loss.iter().map(|&v| (v as f64 - ml).powi(2)).sum::<f64>() / n).sqrt();
+        let r = cov / (sc * sl);
+        assert!(r > 0.2, "correlation {r} too weak");
+    }
+
+    #[test]
+    fn zero_records() {
+        let ds = generate(0, 1);
+        assert_eq!(ds.record_count(), 0);
+        assert_eq!(ds.attribute_count(), 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the workload generators and selectivity
+//! machinery.
+
+use gpudb_data::distributions::{exponential, lognormal, uniform_bits, zipf, MAX_ATTRIBUTE};
+use gpudb_data::selectivity::{percentile, range_for_selectivity, threshold_for_ge};
+use gpudb_data::{census, tcpip};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentile_is_nearest_rank(
+        values in prop::collection::vec(any::<u32>(), 1..300),
+        p in 0.0f64..=1.0,
+    ) {
+        let v = percentile(&values, p).unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(v, sorted[rank - 1]);
+    }
+
+    #[test]
+    fn ge_threshold_reports_true_selectivity(
+        values in prop::collection::vec(any::<u32>(), 1..300),
+        target in 0.05f64..0.95,
+    ) {
+        let (c, achieved) = threshold_for_ge(&values, target).unwrap();
+        let actual = values.iter().filter(|&&v| v >= c).count() as f64 / values.len() as f64;
+        prop_assert!((achieved - actual).abs() < 1e-12);
+        // On distinct values the achieved selectivity is within one rank.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() == values.len() {
+            prop_assert!(
+                (achieved - target).abs() <= 1.0 / values.len() as f64 + 1e-9,
+                "achieved {} target {}",
+                achieved,
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn range_selectivity_reports_true_fraction(
+        values in prop::collection::vec(any::<u32>(), 1..300),
+        target in 0.1f64..0.9,
+    ) {
+        let (low, high, achieved) = range_for_selectivity(&values, target).unwrap();
+        prop_assert!(low <= high);
+        let actual = values
+            .iter()
+            .filter(|&&v| v >= low && v <= high)
+            .count() as f64
+            / values.len() as f64;
+        prop_assert!((achieved - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distributions_respect_bounds(seed in any::<u64>(), bits in 0u32..32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = uniform_bits(&mut rng, bits);
+        let eff = bits.min(24);
+        prop_assert!(eff == 0 && v == 0 || v < (1 << eff));
+        prop_assert!(lognormal(&mut rng, 8.0, 2.0, MAX_ATTRIBUTE) <= MAX_ATTRIBUTE);
+        prop_assert!(exponential(&mut rng, 1e6, MAX_ATTRIBUTE) <= MAX_ATTRIBUTE);
+        let z = zipf(&mut rng, 100, 1.1);
+        prop_assert!(z < 100);
+    }
+
+    #[test]
+    fn generators_deterministic_and_bounded(records in 0usize..2000, seed in any::<u64>()) {
+        let a = tcpip::generate(records, seed);
+        let b = tcpip::generate(records, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.record_count(), records);
+        for col in &a.columns {
+            prop_assert!(col.bits_required() <= 24, "{} too wide", col.name);
+        }
+
+        let c = census::generate(records.min(500), seed);
+        prop_assert_eq!(c.attribute_count(), 4);
+        for col in &c.columns {
+            prop_assert!(col.bits_required() <= 24);
+        }
+    }
+
+    #[test]
+    fn truncation_is_prefix(records in 1usize..500, keep in 0usize..600, seed in any::<u64>()) {
+        let ds = tcpip::generate(records, seed);
+        let t = ds.truncated(keep);
+        let expected = keep.min(records);
+        prop_assert_eq!(t.record_count(), expected);
+        for (full, cut) in ds.columns.iter().zip(&t.columns) {
+            prop_assert_eq!(&full.values[..expected], &cut.values[..]);
+        }
+    }
+}

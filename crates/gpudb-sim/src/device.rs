@@ -1,0 +1,914 @@
+//! The device facade: a stateful GPU with textures, a framebuffer, bound
+//! fragment programs, and draw calls — the simulated equivalent of an
+//! OpenGL context on a GeForce FX 5900 Ultra.
+
+use crate::buffers::Framebuffer;
+use crate::cost::{DrawCost, HardwareProfile};
+use crate::error::{GpuError, GpuResult};
+use crate::program::isa::{FragmentProgram, NUM_PARAMS, NUM_TEXTURE_UNITS};
+use crate::raster::{rasterize, DrawInputs, Rect};
+use crate::state::{
+    AlphaState, ColorMask, CompareFunc, DepthBoundsState, PipelineState, ScissorState, StencilOp,
+};
+use crate::stats::{GpuStats, Phase};
+use crate::texture::{Texture, TextureId};
+use std::time::Instant;
+
+/// Default video memory budget: the paper's card had 256 MB.
+pub const DEFAULT_VRAM_BYTES: usize = 256 << 20;
+
+/// A simulated GPU device.
+///
+/// All mutation goes through `&mut self`; the device is cheap to move and
+/// can be wrapped in a `parking_lot::Mutex` for shared use.
+pub struct Gpu {
+    profile: HardwareProfile,
+    fb: Framebuffer,
+    textures: Vec<Option<Texture>>,
+    free_ids: Vec<u32>,
+    bound_textures: [Option<TextureId>; NUM_TEXTURE_UNITS],
+    program: Option<FragmentProgram>,
+    env: [[f32; 4]; NUM_PARAMS],
+    state: PipelineState,
+    draw_color: [f32; 4],
+    early_z: bool,
+    /// Pass count accumulated by the active occlusion query, if any.
+    occlusion: Option<u64>,
+    phase: Phase,
+    stats: GpuStats,
+    vram_budget: usize,
+    vram_used: usize,
+}
+
+impl Gpu {
+    /// Create a device with an explicit hardware profile and framebuffer
+    /// dimensions.
+    pub fn new(profile: HardwareProfile, width: usize, height: usize) -> Gpu {
+        let fb = Framebuffer::new(width, height);
+        let vram_used = fb.byte_size();
+        Gpu {
+            profile,
+            fb,
+            textures: Vec::new(),
+            free_ids: Vec::new(),
+            bound_textures: [None; NUM_TEXTURE_UNITS],
+            program: None,
+            env: [[0.0; 4]; NUM_PARAMS],
+            state: PipelineState::default(),
+            draw_color: [1.0; 4],
+            early_z: true,
+            occlusion: None,
+            phase: Phase::Other,
+            stats: GpuStats::default(),
+            vram_budget: DEFAULT_VRAM_BYTES,
+            vram_used,
+        }
+    }
+
+    /// Create a device modeled on the paper's GeForce FX 5900 Ultra.
+    pub fn geforce_fx_5900(width: usize, height: usize) -> Gpu {
+        Gpu::new(HardwareProfile::geforce_fx_5900(), width, height)
+    }
+
+    /// The hardware profile driving the cost model.
+    pub fn profile(&self) -> &HardwareProfile {
+        &self.profile
+    }
+
+    /// Framebuffer width in pixels.
+    pub fn width(&self) -> usize {
+        self.fb.width()
+    }
+
+    /// Framebuffer height in pixels.
+    pub fn height(&self) -> usize {
+        self.fb.height()
+    }
+
+    /// Override the video memory budget (for out-of-memory testing).
+    pub fn set_vram_budget(&mut self, bytes: usize) {
+        self.vram_budget = bytes;
+    }
+
+    /// Video memory currently allocated (framebuffer + textures).
+    pub fn vram_used(&self) -> usize {
+        self.vram_used
+    }
+
+    /// Enable or disable the early-z optimization (§6.2.1). Results are
+    /// unaffected; only the modeled cost of shading changes.
+    pub fn set_early_z(&mut self, enabled: bool) {
+        self.early_z = enabled;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase attribution & statistics
+    // ------------------------------------------------------------------
+
+    /// Attribute subsequent work to a phase.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Reset the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Textures
+    // ------------------------------------------------------------------
+
+    /// Upload a texture to the device (costed as an AGP transfer).
+    pub fn create_texture(&mut self, texture: Texture) -> GpuResult<TextureId> {
+        let bytes = texture.byte_size();
+        if self.vram_used + bytes > self.vram_budget {
+            return Err(GpuError::OutOfVideoMemory {
+                requested: bytes,
+                available: self.vram_budget.saturating_sub(self.vram_used),
+            });
+        }
+        let wall = Instant::now();
+        let id = match self.free_ids.pop() {
+            Some(id) => {
+                self.textures[id as usize] = Some(texture);
+                id
+            }
+            None => {
+                self.textures.push(Some(texture));
+                (self.textures.len() - 1) as u32
+            }
+        };
+        self.vram_used += bytes;
+        self.stats.bytes_uploaded += bytes as u64;
+        self.stats
+            .modeled
+            .add(self.phase, self.profile.upload_seconds(bytes as u64));
+        self.stats
+            .wall
+            .add(self.phase, wall.elapsed().as_secs_f64());
+        Ok(TextureId(id))
+    }
+
+    /// Delete a texture, releasing its video memory.
+    pub fn delete_texture(&mut self, id: TextureId) -> GpuResult<()> {
+        let slot = self
+            .textures
+            .get_mut(id.0 as usize)
+            .ok_or(GpuError::InvalidTexture(id.0))?;
+        let tex = slot.take().ok_or(GpuError::InvalidTexture(id.0))?;
+        self.vram_used -= tex.byte_size();
+        self.free_ids.push(id.0);
+        for bound in &mut self.bound_textures {
+            if *bound == Some(id) {
+                *bound = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Host-side access to a texture's contents (no transfer cost; this is
+    /// a debugging affordance the real hardware lacked).
+    pub fn texture(&self, id: TextureId) -> GpuResult<&Texture> {
+        self.textures
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(GpuError::InvalidTexture(id.0))
+    }
+
+    /// Replace a rectangular region of a texture (costed as an upload).
+    pub fn update_texture_sub_image(
+        &mut self,
+        id: TextureId,
+        x: usize,
+        y: usize,
+        width: usize,
+        height: usize,
+        data: &[f32],
+    ) -> GpuResult<()> {
+        let tex = self
+            .textures
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GpuError::InvalidTexture(id.0))?;
+        tex.update_sub_image(x, y, width, height, data)?;
+        let bytes = data.len() as u64 * 4;
+        self.stats.bytes_uploaded += bytes;
+        self.stats
+            .modeled
+            .add(self.phase, self.profile.upload_seconds(bytes));
+        Ok(())
+    }
+
+    /// Bind a texture to an image unit (or unbind with `None`).
+    pub fn bind_texture(&mut self, unit: usize, id: Option<TextureId>) -> GpuResult<()> {
+        if unit >= NUM_TEXTURE_UNITS {
+            return Err(GpuError::InvalidTextureUnit(unit));
+        }
+        if let Some(id) = id {
+            // Validate the id eagerly.
+            self.texture(id)?;
+        }
+        self.bound_textures[unit] = id;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fragment programs & parameters
+    // ------------------------------------------------------------------
+
+    /// Bind a fragment program (or return to fixed-function with `None`).
+    pub fn bind_program(&mut self, program: Option<FragmentProgram>) {
+        self.program = program;
+    }
+
+    /// Assemble and bind a program from source text.
+    pub fn bind_program_source(&mut self, source: &str) -> GpuResult<()> {
+        let program = crate::program::parser::assemble(source)?;
+        self.program = Some(program);
+        Ok(())
+    }
+
+    /// The currently bound program, if any.
+    pub fn bound_program(&self) -> Option<&FragmentProgram> {
+        self.program.as_ref()
+    }
+
+    /// Set a `program.env[index]` parameter.
+    pub fn set_program_env(&mut self, index: usize, value: [f32; 4]) -> GpuResult<()> {
+        if index >= NUM_PARAMS {
+            return Err(GpuError::InvalidParameterIndex(index));
+        }
+        self.env[index] = value;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fixed-function state
+    // ------------------------------------------------------------------
+
+    /// Read-only view of the pipeline state.
+    pub fn state(&self) -> &PipelineState {
+        &self.state
+    }
+
+    /// Enable/disable the depth test and set its comparison.
+    pub fn set_depth_test(&mut self, enabled: bool, func: CompareFunc) {
+        self.state.depth.test_enabled = enabled;
+        self.state.depth.func = func;
+    }
+
+    /// Enable/disable depth writes.
+    pub fn set_depth_write(&mut self, enabled: bool) {
+        self.state.depth.write_enabled = enabled;
+    }
+
+    /// Configure the stencil test function (`glStencilFunc`).
+    pub fn set_stencil_func(&mut self, enabled: bool, func: CompareFunc, reference: u8, mask: u8) {
+        self.state.stencil.enabled = enabled;
+        self.state.stencil.func = func;
+        self.state.stencil.reference = reference;
+        self.state.stencil.value_mask = mask;
+    }
+
+    /// Configure the stencil operations — the paper's
+    /// `StencilOp(Op1, Op2, Op3)`.
+    pub fn set_stencil_op(&mut self, fail: StencilOp, zfail: StencilOp, zpass: StencilOp) {
+        self.state.stencil.op_fail = fail;
+        self.state.stencil.op_zfail = zfail;
+        self.state.stencil.op_zpass = zpass;
+    }
+
+    /// Restrict which stencil bits are writable.
+    pub fn set_stencil_write_mask(&mut self, mask: u8) {
+        self.state.stencil.write_mask = mask;
+    }
+
+    /// Configure the alpha test (`glAlphaFunc`).
+    pub fn set_alpha_test(&mut self, enabled: bool, func: CompareFunc, reference: f32) {
+        self.state.alpha = AlphaState {
+            enabled,
+            func,
+            reference,
+        };
+    }
+
+    /// Configure the `EXT_depth_bounds_test` extension.
+    pub fn set_depth_bounds(&mut self, enabled: bool, min: f64, max: f64) {
+        self.state.depth_bounds = DepthBoundsState { enabled, min, max };
+    }
+
+    /// Set the depth compare mask (§6.1 wishlist extension). Errors with
+    /// [`GpuError::UnsupportedFeature`] unless the hardware profile
+    /// advertises the capability.
+    pub fn set_depth_compare_mask(&mut self, mask: u32) -> GpuResult<()> {
+        if mask != crate::state::DEPTH_COMPARE_MASK_ALL && !self.profile.has_depth_compare_mask {
+            return Err(GpuError::UnsupportedFeature("depth compare mask"));
+        }
+        self.state.depth.compare_mask = mask & crate::state::DEPTH_COMPARE_MASK_ALL;
+        Ok(())
+    }
+
+    /// Configure the scissor rectangle.
+    pub fn set_scissor(&mut self, scissor: ScissorState) {
+        self.state.scissor = scissor;
+    }
+
+    /// Set the color write mask.
+    pub fn set_color_mask(&mut self, mask: ColorMask) {
+        self.state.color_mask = mask;
+    }
+
+    /// Set the flat primary color used for fixed-function quads.
+    pub fn set_draw_color(&mut self, color: [f32; 4]) {
+        self.draw_color = color;
+    }
+
+    /// Reset all pipeline state to GL defaults.
+    pub fn reset_state(&mut self) {
+        self.state = PipelineState::default();
+        self.draw_color = [1.0; 4];
+    }
+
+    // ------------------------------------------------------------------
+    // Clears
+    // ------------------------------------------------------------------
+    //
+    // Hardware of this era had fast-clear paths for depth and color, so
+    // clears are modeled as (nearly) free; only the driver overhead of the
+    // call is charged.
+
+    /// Clear the color buffer.
+    pub fn clear_color(&mut self, rgba: [f32; 4]) {
+        self.fb.color.clear(rgba);
+        self.stats
+            .modeled
+            .add(self.phase, self.profile.draw_call_overhead_s);
+    }
+
+    /// Clear the depth buffer to a normalized value.
+    pub fn clear_depth(&mut self, depth: f64) {
+        self.fb.depth.clear(depth);
+        self.stats
+            .modeled
+            .add(self.phase, self.profile.draw_call_overhead_s);
+    }
+
+    /// Clear the stencil buffer.
+    pub fn clear_stencil(&mut self, value: u8) {
+        self.fb.stencil.clear(value);
+        self.stats
+            .modeled
+            .add(self.phase, self.profile.draw_call_overhead_s);
+    }
+
+    // ------------------------------------------------------------------
+    // Draw calls
+    // ------------------------------------------------------------------
+
+    /// Render a screen-aligned quad covering the whole framebuffer at the
+    /// given depth — the paper's `RenderQuad(d)` / `RenderTexturedQuad`.
+    pub fn draw_full_quad(&mut self, depth: f32) -> GpuResult<DrawCost> {
+        let rect = Rect::full(self.fb.width(), self.fb.height());
+        self.draw_quad(&[rect], depth)
+    }
+
+    /// Render screen-aligned rectangles at the given depth. The rectangles
+    /// must lie within the framebuffer and not overlap (the database layer
+    /// always renders disjoint rects covering each record once).
+    pub fn draw_quad(&mut self, rects: &[Rect], depth: f32) -> GpuResult<DrawCost> {
+        for rect in rects {
+            if !rect.fits(self.fb.width(), self.fb.height()) {
+                return Err(GpuError::RectOutOfBounds {
+                    rect: *rect,
+                    width: self.fb.width(),
+                    height: self.fb.height(),
+                });
+            }
+        }
+        // Validate that every texture unit the program samples is bound.
+        if let Some(program) = &self.program {
+            for unit in 0..NUM_TEXTURE_UNITS {
+                if program.texture_units & (1 << unit) != 0 && self.bound_textures[unit].is_none()
+                {
+                    return Err(GpuError::UnboundTextureUnit(unit));
+                }
+            }
+        }
+
+        let wall = Instant::now();
+        let texture_refs: Vec<Option<&Texture>> = self
+            .bound_textures
+            .iter()
+            .map(|slot| slot.and_then(|id| self.textures[id.0 as usize].as_ref()))
+            .collect();
+        let inputs = DrawInputs {
+            state: &self.state,
+            program: self.program.as_ref(),
+            textures: &texture_refs,
+            env: &self.env,
+            quad_depth: depth,
+            draw_color: self.draw_color,
+            early_z: self.early_z,
+        };
+        let cost = rasterize(&inputs, &mut self.fb, rects, &self.profile);
+        cost.accumulate(&mut self.stats, self.phase);
+        self.stats
+            .wall
+            .add(self.phase, wall.elapsed().as_secs_f64());
+        if let Some(acc) = &mut self.occlusion {
+            *acc += cost.passed;
+        }
+        Ok(cost)
+    }
+
+    // ------------------------------------------------------------------
+    // Occlusion queries (NV_occlusion_query)
+    // ------------------------------------------------------------------
+
+    /// Begin counting fragments that pass all tests.
+    pub fn begin_occlusion_query(&mut self) -> GpuResult<()> {
+        if self.occlusion.is_some() {
+            return Err(GpuError::OcclusionQueryMisuse(
+                "begin with a query already active",
+            ));
+        }
+        self.occlusion = Some(0);
+        Ok(())
+    }
+
+    /// End the active query and synchronously fetch the pixel pass count.
+    ///
+    /// The synchronous fetch drains the pipeline: the cost model charges
+    /// [`HardwareProfile::occlusion_sync_latency_s`] to the readback phase.
+    /// Use this when the algorithm *depends* on the count before its next
+    /// pass (e.g. each bit iteration of `KthLargest`).
+    pub fn end_occlusion_query(&mut self) -> GpuResult<u64> {
+        let count = self
+            .occlusion
+            .take()
+            .ok_or(GpuError::OcclusionQueryMisuse("end without begin"))?;
+        self.stats.occlusion_readbacks += 1;
+        self.stats
+            .modeled
+            .add(Phase::Readback, self.profile.occlusion_sync_latency_s);
+        Ok(count)
+    }
+
+    /// End the active query with an *asynchronous* result fetch: no
+    /// pipeline drain is charged, modeling §5.3 of the paper — "these
+    /// queries can be performed asynchronously and often do not add any
+    /// additional overhead". Appropriate whenever the count is a final
+    /// result rather than an input to the next rendering pass.
+    pub fn end_occlusion_query_async(&mut self) -> GpuResult<u64> {
+        let count = self
+            .occlusion
+            .take()
+            .ok_or(GpuError::OcclusionQueryMisuse("end without begin"))?;
+        self.stats.occlusion_readbacks += 1;
+        Ok(count)
+    }
+
+    /// Whether an occlusion query is currently active.
+    pub fn occlusion_query_active(&self) -> bool {
+        self.occlusion.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Read-backs
+    // ------------------------------------------------------------------
+
+    /// Read back the full depth buffer (normalized values). Costed at PCI
+    /// readback bandwidth.
+    pub fn read_depth_buffer(&mut self) -> Vec<f64> {
+        let bytes = (self.fb.pixel_count() * 4) as u64;
+        self.account_readback(bytes);
+        (0..self.fb.pixel_count())
+            .map(|i| self.fb.depth.get(i))
+            .collect()
+    }
+
+    /// Read back the raw 24-bit depth buffer values.
+    pub fn read_depth_buffer_raw(&mut self) -> Vec<u32> {
+        let bytes = (self.fb.pixel_count() * 4) as u64;
+        self.account_readback(bytes);
+        self.fb.depth.raw_data().to_vec()
+    }
+
+    /// Read back the stencil buffer.
+    pub fn read_stencil_buffer(&mut self) -> Vec<u8> {
+        let bytes = self.fb.pixel_count() as u64;
+        self.account_readback(bytes);
+        self.fb.stencil.data().to_vec()
+    }
+
+    /// Read back the color buffer.
+    pub fn read_color_buffer(&mut self) -> Vec<[f32; 4]> {
+        let bytes = (self.fb.pixel_count() * 16) as u64;
+        self.account_readback(bytes);
+        self.fb.color.data().to_vec()
+    }
+
+    /// Copy a region of the color buffer into a texture — the
+    /// `glCopyTexSubImage2D` path multipass algorithms (e.g. bitonic sort)
+    /// use to feed one pass's output to the next. The copy stays on-card,
+    /// so it is costed at fill rate rather than bus bandwidth.
+    ///
+    /// For an R-format texture the red channel is taken; RG/RGB/RGBA take
+    /// the leading channels.
+    pub fn copy_color_to_texture(
+        &mut self,
+        id: TextureId,
+        x: usize,
+        y: usize,
+        width: usize,
+        height: usize,
+    ) -> GpuResult<()> {
+        if x + width > self.fb.width() || y + height > self.fb.height() {
+            return Err(GpuError::RectOutOfBounds {
+                rect: Rect::new(x, y, width, height),
+                width: self.fb.width(),
+                height: self.fb.height(),
+            });
+        }
+        let fb_width = self.fb.width();
+        let tex = self
+            .textures
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GpuError::InvalidTexture(id.0))?;
+        if width > tex.width() || height > tex.height() {
+            return Err(GpuError::InvalidTextureSize { width, height });
+        }
+        let channels = tex.format().channels();
+        let tex_width = tex.width();
+        let data = tex.data_mut();
+        for row in 0..height {
+            for col in 0..width {
+                let pixel = self.fb.color.get((y + row) * fb_width + (x + col));
+                let base = (row * tex_width + col) * channels;
+                data[base..base + channels].copy_from_slice(&pixel[..channels]);
+            }
+        }
+        let fragments = (width * height) as u64;
+        self.stats
+            .modeled
+            .add(self.phase, self.profile.raster_seconds(fragments, 0, 0));
+        Ok(())
+    }
+
+    fn account_readback(&mut self, bytes: u64) {
+        self.stats.bytes_read_back += bytes;
+        self.stats
+            .modeled
+            .add(Phase::Readback, self.profile.readback_seconds(bytes));
+    }
+
+    /// Direct framebuffer access for in-crate helpers and white-box tests.
+    #[allow(dead_code)]
+    pub(crate) fn framebuffer(&self) -> &Framebuffer {
+        &self.fb
+    }
+
+    /// Add modeled seconds to a phase, for in-crate helpers that model
+    /// composite operations (e.g. the mipmap pyramid).
+    pub(crate) fn add_modeled(&mut self, phase: Phase, seconds: f64) {
+        self.stats.modeled.add(phase, seconds);
+        self.stats.draw_calls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::texture::TextureFormat;
+
+    fn tex(values: &[f32]) -> Texture {
+        Texture::from_data(values.len(), 1, TextureFormat::R, values.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn texture_lifecycle_and_vram_accounting() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 4);
+        let base = gpu.vram_used();
+        let id = gpu.create_texture(tex(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        assert_eq!(gpu.vram_used(), base + 16);
+        assert_eq!(gpu.texture(id).unwrap().fetch_channel(2, 0, 0), 3.0);
+        gpu.delete_texture(id).unwrap();
+        assert_eq!(gpu.vram_used(), base);
+        assert!(gpu.texture(id).is_err());
+        assert!(gpu.delete_texture(id).is_err());
+    }
+
+    #[test]
+    fn texture_ids_are_recycled() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        let a = gpu.create_texture(tex(&[1.0])).unwrap();
+        gpu.delete_texture(a).unwrap();
+        let b = gpu.create_texture(tex(&[2.0])).unwrap();
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn vram_budget_enforced() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        gpu.set_vram_budget(gpu.vram_used() + 15);
+        let err = gpu.create_texture(tex(&[1.0, 2.0, 3.0, 4.0])).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfVideoMemory { .. }));
+        // A smaller texture still fits.
+        assert!(gpu.create_texture(tex(&[1.0])).is_ok());
+    }
+
+    #[test]
+    fn deleting_bound_texture_unbinds_it() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        let id = gpu.create_texture(tex(&[1.0])).unwrap();
+        gpu.bind_texture(0, Some(id)).unwrap();
+        gpu.delete_texture(id).unwrap();
+        // Drawing with a program that samples unit 0 now fails.
+        gpu.bind_program_source(
+            "TEX R0, fragment.texcoord[0], texture[0], 2D; MOV result.color, R0;",
+        )
+        .unwrap();
+        let err = gpu.draw_full_quad(0.5).unwrap_err();
+        assert_eq!(err, GpuError::UnboundTextureUnit(0));
+    }
+
+    #[test]
+    fn draw_rejects_out_of_bounds_rect() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 4);
+        let err = gpu.draw_quad(&[Rect::new(0, 0, 5, 1)], 0.5).unwrap_err();
+        assert!(matches!(err, GpuError::RectOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn fixed_function_quad_writes_depth_everywhere() {
+        let mut gpu = Gpu::geforce_fx_5900(8, 4);
+        gpu.set_depth_test(true, CompareFunc::Always);
+        gpu.set_depth_write(true);
+        let cost = gpu.draw_full_quad(0.5).unwrap();
+        assert_eq!(cost.fragments, 32);
+        assert_eq!(cost.passed, 32);
+        assert_eq!(cost.shaded, 0);
+        let depths = gpu.read_depth_buffer();
+        assert!(depths.iter().all(|&d| (d - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn occlusion_query_counts_passing_fragments() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 4);
+        // Stored depth defaults to 1.0; incoming 0.5 with Less always passes.
+        gpu.set_depth_test(true, CompareFunc::Less);
+        gpu.set_depth_write(false);
+        gpu.begin_occlusion_query().unwrap();
+        gpu.draw_quad(&[Rect::new(0, 0, 4, 2)], 0.5).unwrap();
+        gpu.draw_quad(&[Rect::new(0, 2, 4, 1)], 0.5).unwrap();
+        let count = gpu.end_occlusion_query().unwrap();
+        assert_eq!(count, 12);
+        assert_eq!(gpu.stats().occlusion_readbacks, 1);
+    }
+
+    #[test]
+    fn occlusion_query_misuse_detected() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        assert!(gpu.end_occlusion_query().is_err());
+        gpu.begin_occlusion_query().unwrap();
+        assert!(gpu.begin_occlusion_query().is_err());
+        assert!(gpu.occlusion_query_active());
+        gpu.end_occlusion_query().unwrap();
+        assert!(!gpu.occlusion_query_active());
+    }
+
+    #[test]
+    fn program_draw_copies_texture_to_depth() {
+        // The paper's CopyToDepth: fetch texel, normalize, write depth.
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        let max = crate::buffers::DEPTH_MAX as f32;
+        let scale = 1.0 / crate::buffers::DEPTH_SCALE as f32;
+        let id = gpu.create_texture(tex(&[0.0, 100.0, 200.0, max])).unwrap();
+        gpu.bind_texture(0, Some(id)).unwrap();
+        gpu.bind_program_source(
+            "TEX R0, fragment.texcoord[0], texture[0], 2D;
+             MUL R1.x, R0.x, program.env[0].x;
+             MOV result.depth, R1.x;",
+        )
+        .unwrap();
+        gpu.set_program_env(0, [scale, 0.0, 0.0, 0.0]).unwrap();
+        gpu.set_depth_test(true, CompareFunc::Always);
+        gpu.set_depth_write(true);
+        let cost = gpu.draw_full_quad(0.0).unwrap();
+        assert_eq!(cost.shaded, 4, "depth-writing program disables early-z");
+        let raw = gpu.read_depth_buffer_raw();
+        assert_eq!(raw, vec![0, 100, 200, crate::buffers::DEPTH_MAX]);
+    }
+
+    #[test]
+    fn early_z_skips_shading_of_rejected_fragments() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        let id = gpu.create_texture(tex(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        gpu.bind_texture(0, Some(id)).unwrap();
+        // Pre-load depth: two pixels near, two far.
+        gpu.set_depth_test(true, CompareFunc::Always);
+        gpu.set_depth_write(true);
+        gpu.draw_quad(&[Rect::new(0, 0, 2, 1)], 0.1).unwrap();
+        gpu.draw_quad(&[Rect::new(2, 0, 2, 1)], 0.9).unwrap();
+        // Now draw a shaded quad at 0.5 with Less: only the two far pixels pass.
+        gpu.bind_program_source(
+            "TEX R0, fragment.texcoord[0], texture[0], 2D; MOV result.color, R0;",
+        )
+        .unwrap();
+        gpu.set_depth_test(true, CompareFunc::Less);
+        gpu.set_depth_write(false);
+        let cost = gpu.draw_full_quad(0.5).unwrap();
+        assert_eq!(cost.passed, 2);
+        assert_eq!(cost.shaded, 2, "early-z shades only passing fragments");
+        assert_eq!(cost.early_rejected, 2);
+
+        // With early-z disabled, all four fragments are shaded.
+        gpu.set_early_z(false);
+        let cost = gpu.draw_full_quad(0.5).unwrap();
+        assert_eq!(cost.passed, 2);
+        assert_eq!(cost.shaded, 4);
+        assert_eq!(cost.early_rejected, 0);
+    }
+
+    #[test]
+    fn kil_program_discards_fragments() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        let id = gpu.create_texture(tex(&[-1.0, 1.0, -2.0, 2.0])).unwrap();
+        gpu.bind_texture(0, Some(id)).unwrap();
+        gpu.bind_program_source(
+            "TEX R0, fragment.texcoord[0], texture[0], 2D;
+             KIL R0.x;
+             MOV result.color, R0;",
+        )
+        .unwrap();
+        gpu.begin_occlusion_query().unwrap();
+        gpu.draw_full_quad(0.5).unwrap();
+        let count = gpu.end_occlusion_query().unwrap();
+        assert_eq!(count, 2, "negative texels killed");
+    }
+
+    #[test]
+    fn scissor_restricts_fragments() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 4);
+        gpu.set_scissor(ScissorState {
+            enabled: true,
+            x: 1,
+            y: 1,
+            width: 2,
+            height: 2,
+        });
+        let cost = gpu.draw_full_quad(0.5).unwrap();
+        assert_eq!(cost.fragments, 4);
+    }
+
+    #[test]
+    fn stats_phases_attributed() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 4);
+        gpu.set_phase(Phase::Upload);
+        gpu.create_texture(tex(&[1.0])).unwrap();
+        gpu.set_phase(Phase::Compute);
+        gpu.draw_full_quad(0.5).unwrap();
+        let stats = gpu.stats();
+        assert!(stats.modeled.get(Phase::Upload) > 0.0);
+        assert!(stats.modeled.get(Phase::Compute) > 0.0);
+        assert_eq!(stats.modeled.get(Phase::CopyToDepth), 0.0);
+        assert_eq!(stats.draw_calls, 1);
+        assert_eq!(stats.bytes_uploaded, 4);
+    }
+
+    #[test]
+    fn env_parameter_validation() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        assert!(gpu.set_program_env(0, [1.0; 4]).is_ok());
+        assert!(gpu.set_program_env(NUM_PARAMS, [1.0; 4]).is_err());
+        assert!(gpu.bind_texture(NUM_TEXTURE_UNITS, None).is_err());
+    }
+
+    #[test]
+    fn clears_reset_buffers() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        gpu.set_depth_test(true, CompareFunc::Always);
+        gpu.draw_full_quad(0.3).unwrap();
+        gpu.clear_depth(1.0);
+        gpu.clear_color([0.5; 4]);
+        gpu.clear_stencil(7);
+        assert!(gpu
+            .read_depth_buffer_raw()
+            .iter()
+            .all(|&d| d == crate::buffers::DEPTH_MAX));
+        assert!(gpu.read_color_buffer().iter().all(|&c| c == [0.5; 4]));
+        assert!(gpu.read_stencil_buffer().iter().all(|&s| s == 7));
+    }
+
+    #[test]
+    fn copy_color_to_texture_roundtrip() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 2);
+        gpu.set_draw_color([0.25, 0.5, 0.75, 1.0]);
+        gpu.draw_full_quad(0.0).unwrap();
+        let tex = Texture::zeroed(4, 2, TextureFormat::R).unwrap();
+        let id = gpu.create_texture(tex).unwrap();
+        gpu.copy_color_to_texture(id, 0, 0, 4, 2).unwrap();
+        // R format takes the red channel.
+        assert!(gpu.texture(id).unwrap().data().iter().all(|&v| v == 0.25));
+        // RGBA format takes all channels.
+        let tex4 = Texture::zeroed(4, 2, TextureFormat::Rgba).unwrap();
+        let id4 = gpu.create_texture(tex4).unwrap();
+        gpu.copy_color_to_texture(id4, 0, 0, 4, 2).unwrap();
+        assert_eq!(gpu.texture(id4).unwrap().fetch(3, 1), [0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn copy_color_to_texture_validates_bounds() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 2);
+        let id = gpu
+            .create_texture(Texture::zeroed(2, 2, TextureFormat::R).unwrap())
+            .unwrap();
+        // Region larger than the texture.
+        assert!(gpu.copy_color_to_texture(id, 0, 0, 4, 2).is_err());
+        // Region outside the framebuffer.
+        assert!(gpu.copy_color_to_texture(id, 3, 1, 2, 2).is_err());
+        // Bad id.
+        assert!(gpu
+            .copy_color_to_texture(TextureId(99), 0, 0, 1, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn depth_compare_mask_gated_by_profile() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        assert_eq!(
+            gpu.set_depth_compare_mask(0b100).unwrap_err(),
+            GpuError::UnsupportedFeature("depth compare mask")
+        );
+        // Setting the all-ones mask is always allowed (it is the default).
+        assert!(gpu
+            .set_depth_compare_mask(crate::state::DEPTH_COMPARE_MASK_ALL)
+            .is_ok());
+
+        let mut gpu = Gpu::new(
+            HardwareProfile::geforce_fx_5900_with_depth_mask(),
+            4,
+            1,
+        );
+        gpu.set_depth_compare_mask(0b100).unwrap();
+        assert_eq!(gpu.state().depth.compare_mask, 0b100);
+    }
+
+    #[test]
+    fn depth_compare_mask_tests_single_bits() {
+        // §6.1's wished-for behavior: with mask = 2^i and func Equal, the
+        // test passes exactly when bit i of the stored value matches bit i
+        // of the incoming depth.
+        let mut gpu = Gpu::new(HardwareProfile::geforce_fx_5900_with_depth_mask(), 8, 1);
+        let scale = 1.0 / crate::buffers::DEPTH_SCALE as f32;
+        let values: Vec<f32> = (0..8).map(|v| v as f32).collect();
+        let id = gpu
+            .create_texture(Texture::from_data(8, 1, TextureFormat::R, values).unwrap())
+            .unwrap();
+        gpu.bind_texture(0, Some(id)).unwrap();
+        gpu.bind_program_source(
+            "TEX R0, fragment.texcoord[0], texture[0], 2D;
+             MUL R1.x, R0.x, program.env[0].x;
+             MOV result.depth, R1.x;",
+        )
+        .unwrap();
+        gpu.set_program_env(0, [scale, 0.0, 0.0, 0.0]).unwrap();
+        gpu.set_depth_test(true, CompareFunc::Always);
+        gpu.set_depth_write(true);
+        gpu.draw_full_quad(0.0).unwrap();
+        gpu.bind_program(None);
+        gpu.set_depth_write(false);
+
+        for bit in 0..3u32 {
+            gpu.set_depth_compare_mask(1 << bit).unwrap();
+            gpu.set_depth_test(true, CompareFunc::Equal);
+            gpu.begin_occlusion_query().unwrap();
+            // Incoming depth encodes 2^bit: test passes when bit set.
+            gpu.draw_full_quad((1u32 << bit) as f32 * scale).unwrap();
+            let count = gpu.end_occlusion_query().unwrap();
+            let expected = (0..8u32).filter(|v| v >> bit & 1 == 1).count() as u64;
+            assert_eq!(count, expected, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn readbacks_are_costed() {
+        let mut gpu = Gpu::geforce_fx_5900(10, 10);
+        gpu.read_depth_buffer();
+        let stats = gpu.stats();
+        assert_eq!(stats.bytes_read_back, 400);
+        assert!(stats.modeled.get(Phase::Readback) > 0.0);
+    }
+}

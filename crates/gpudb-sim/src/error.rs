@@ -1,0 +1,103 @@
+//! Error types for the GPU simulator.
+
+use std::fmt;
+
+/// Errors raised by the simulated device.
+///
+/// The 2004-era OpenGL driver this simulator stands in for reported most of
+/// these as `GL_INVALID_*` errors or allocation failures; we surface them as
+/// a typed enum so that the database layer can react (e.g. fall back to
+/// out-of-core execution when VRAM is exhausted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// A texture allocation would exceed the device's video memory budget.
+    OutOfVideoMemory {
+        /// Bytes requested by the failed allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// A texture id did not refer to a live texture.
+    InvalidTexture(u32),
+    /// A texture unit index was out of range.
+    InvalidTextureUnit(usize),
+    /// Texture dimensions were zero or exceed the maximum supported size.
+    InvalidTextureSize {
+        /// Requested width in texels.
+        width: usize,
+        /// Requested height in texels.
+        height: usize,
+    },
+    /// The supplied texel data length did not match `width * height * channels`.
+    TextureDataMismatch {
+        /// Required number of f32 values.
+        expected: usize,
+        /// Provided number of f32 values.
+        actual: usize,
+    },
+    /// A channel count outside 1..=4 was requested.
+    InvalidChannelCount(u8),
+    /// A draw call referenced a texture unit with no bound texture.
+    UnboundTextureUnit(usize),
+    /// A fragment program failed to assemble.
+    ProgramError(String),
+    /// A draw rectangle fell outside the framebuffer.
+    RectOutOfBounds {
+        /// The offending rectangle.
+        rect: crate::raster::Rect,
+        /// Framebuffer width in pixels.
+        width: usize,
+        /// Framebuffer height in pixels.
+        height: usize,
+    },
+    /// `end_occlusion_query` without a matching `begin_occlusion_query`,
+    /// or nested `begin_occlusion_query`.
+    OcclusionQueryMisuse(&'static str),
+    /// An environment/local parameter index was out of range.
+    InvalidParameterIndex(usize),
+    /// The hardware profile does not support the requested feature.
+    UnsupportedFeature(&'static str),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfVideoMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of video memory: requested {requested} bytes, {available} available"
+            ),
+            GpuError::InvalidTexture(id) => write!(f, "invalid texture id {id}"),
+            GpuError::InvalidTextureUnit(u) => write!(f, "invalid texture unit {u}"),
+            GpuError::InvalidTextureSize { width, height } => {
+                write!(f, "invalid texture size {width}x{height}")
+            }
+            GpuError::TextureDataMismatch { expected, actual } => {
+                write!(f, "texture data length {actual}, expected {expected}")
+            }
+            GpuError::InvalidChannelCount(c) => write!(f, "invalid channel count {c}"),
+            GpuError::UnboundTextureUnit(u) => write!(f, "no texture bound to unit {u}"),
+            GpuError::ProgramError(msg) => write!(f, "fragment program error: {msg}"),
+            GpuError::RectOutOfBounds {
+                rect,
+                width,
+                height,
+            } => write!(
+                f,
+                "draw rect {rect:?} outside framebuffer {width}x{height}"
+            ),
+            GpuError::OcclusionQueryMisuse(msg) => write!(f, "occlusion query misuse: {msg}"),
+            GpuError::InvalidParameterIndex(i) => write!(f, "invalid parameter index {i}"),
+            GpuError::UnsupportedFeature(feature) => {
+                write!(f, "hardware profile does not support {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+/// Convenience alias used throughout the simulator.
+pub type GpuResult<T> = Result<T, GpuError>;

@@ -1,0 +1,469 @@
+//! The per-fragment pipeline: fragment program, then the fixed-function
+//! test sequence in authentic OpenGL order.
+//!
+//! Order of operations for each fragment (§3.1 of the paper, plus the
+//! `EXT_depth_bounds_test` specification):
+//!
+//! 1. fragment program (may replace color/depth or `KIL` the fragment);
+//! 2. alpha test — failing fragments are discarded with **no** stencil
+//!    side effect;
+//! 3. stencil test — failing fragments run the `op_fail` stencil update,
+//!    then are discarded;
+//! 4. depth bounds test — compares the depth value **already stored in the
+//!    framebuffer** against the bounds; failing fragments are discarded
+//!    with no stencil side effect;
+//! 5. depth test — failing fragments run `op_zfail`; passing fragments run
+//!    `op_zpass`, write depth (if enabled) and color (per mask), and count
+//!    toward any active occlusion query.
+//!
+//! The pipeline operates on an [`FbBand`] — a mutable view over a
+//! contiguous row range of the framebuffer — so that the rasterizer can
+//! process disjoint row bands on parallel host threads, mirroring the
+//! device's parallel pixel pipes.
+
+use crate::buffers::{dequantize_depth, quantize_depth, Framebuffer};
+use crate::program::interp::{execute, FragmentContext, FragmentInput};
+use crate::program::isa::FragmentProgram;
+use crate::state::PipelineState;
+use crate::texture::Texture;
+
+/// What happened to a fragment, with enough detail for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FragmentFate {
+    /// Passed all tests (counts toward occlusion queries).
+    Passed { shaded: bool },
+    /// Discarded by some test or by `KIL`.
+    Discarded { shaded: bool },
+}
+
+/// A mutable view over a contiguous pixel range of the framebuffer
+/// (whole rows). `base` is the global linear index of the first pixel.
+pub(crate) struct FbBand<'a> {
+    pub color: &'a mut [[f32; 4]],
+    pub depth: &'a mut [u32],
+    pub stencil: &'a mut [u8],
+    pub base: usize,
+}
+
+impl<'a> FbBand<'a> {
+    /// A band covering the entire framebuffer.
+    pub fn full(fb: &'a mut Framebuffer) -> FbBand<'a> {
+        FbBand {
+            color: fb.color.data_mut(),
+            depth: fb.depth.raw_data_mut(),
+            stencil: fb.stencil.data_mut(),
+            base: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn local(&self, global_idx: usize) -> usize {
+        debug_assert!(global_idx >= self.base && global_idx - self.base < self.depth.len());
+        global_idx - self.base
+    }
+}
+
+/// Immutable per-draw context shared by all fragments.
+pub(crate) struct PipelineEnv<'a> {
+    pub state: &'a PipelineState,
+    pub program: Option<&'a FragmentProgram>,
+    pub textures: &'a [Option<&'a Texture>],
+    pub env: &'a [[f32; 4]],
+    pub quad_depth: f32,
+    pub draw_color: [f32; 4],
+    pub early_z: bool,
+}
+
+impl<'a> PipelineEnv<'a> {
+    /// Whether the early-z fast path is usable: the fragment's depth and
+    /// discard behavior must be fully known before shading. A program that
+    /// writes `result.depth` or contains `KIL` forces late testing (the
+    /// NV3x behavior the paper exploits in §6.2.1), and an enabled alpha
+    /// test may depend on the program's output alpha.
+    fn early_tests_eligible(&self) -> bool {
+        self.early_z
+            && match self.program {
+                None => true,
+                Some(p) => !p.writes_depth && !p.has_kil && !self.state.alpha.enabled,
+            }
+    }
+}
+
+/// Outcome of the fixed-function test sequence.
+enum TestOutcome {
+    /// Fragment passed alpha, stencil, bounds and depth.
+    Pass,
+    /// Fragment was discarded by some test.
+    Fail,
+}
+
+/// Run the post-shading test sequence and all buffer side effects except
+/// the color write (the caller supplies color only for passing fragments).
+///
+/// `frag_depth` is the fragment's incoming depth in normalized units;
+/// `alpha` its output alpha.
+#[inline(always)]
+fn run_tests(
+    state: &PipelineState,
+    band: &mut FbBand<'_>,
+    idx: usize,
+    frag_depth: f32,
+    alpha: f32,
+) -> TestOutcome {
+    let idx = band.local(idx);
+
+    // 2. Alpha test: discarded fragments have no further effect.
+    if !state.alpha.test(alpha) {
+        return TestOutcome::Fail;
+    }
+
+    // 3. Stencil test.
+    let stencil = &state.stencil;
+    if stencil.enabled {
+        let stored = band.stencil[idx];
+        if !stencil.test(stored) {
+            band.stencil[idx] = stencil.write(stored, stencil.op_fail);
+            return TestOutcome::Fail;
+        }
+    }
+
+    // 4. Depth bounds test: inspects the *stored* framebuffer depth and
+    // discards without any stencil update (per the EXT spec).
+    if state.depth_bounds.enabled && !state.depth_bounds.test(dequantize_depth(band.depth[idx]))
+    {
+        return TestOutcome::Fail;
+    }
+
+    // 5. Depth test, in the quantized 24-bit integer domain, under the
+    // (normally all-ones) depth compare mask.
+    let q_frag = quantize_depth(frag_depth as f64);
+    let depth_pass = if state.depth.test_enabled {
+        let mask = state.depth.compare_mask;
+        state.depth.func.eval(q_frag & mask, band.depth[idx] & mask)
+    } else {
+        true
+    };
+
+    if !depth_pass {
+        if stencil.enabled {
+            let stored = band.stencil[idx];
+            band.stencil[idx] = stencil.write(stored, stencil.op_zfail);
+        }
+        return TestOutcome::Fail;
+    }
+
+    if stencil.enabled {
+        let stored = band.stencil[idx];
+        band.stencil[idx] = stencil.write(stored, stencil.op_zpass);
+    }
+    if state.depth.write_enabled {
+        band.depth[idx] = q_frag;
+    }
+    TestOutcome::Pass
+}
+
+/// Write a passing fragment's color, honoring the color mask.
+#[inline(always)]
+fn write_color(state: &PipelineState, band: &mut FbBand<'_>, idx: usize, color: [f32; 4]) {
+    let mask = state.color_mask;
+    if !mask.any() {
+        return;
+    }
+    let idx = band.local(idx);
+    let stored = &mut band.color[idx];
+    if mask.red {
+        stored[0] = color[0];
+    }
+    if mask.green {
+        stored[1] = color[1];
+    }
+    if mask.blue {
+        stored[2] = color[2];
+    }
+    if mask.alpha {
+        stored[3] = color[3];
+    }
+}
+
+/// Process one fragment at pixel `(x, y)` / global linear index `idx`.
+#[inline]
+pub(crate) fn process_fragment(
+    env: &PipelineEnv<'_>,
+    band: &mut FbBand<'_>,
+    x: usize,
+    y: usize,
+    idx: usize,
+) -> FragmentFate {
+    match env.program {
+        None => {
+            // Pure fixed-function fragment: flat depth and color.
+            match run_tests(env.state, band, idx, env.quad_depth, env.draw_color[3]) {
+                TestOutcome::Pass => {
+                    write_color(env.state, band, idx, env.draw_color);
+                    FragmentFate::Passed { shaded: false }
+                }
+                TestOutcome::Fail => FragmentFate::Discarded { shaded: false },
+            }
+        }
+        Some(program) => {
+            if env.early_tests_eligible() {
+                // Early path: the incoming depth is the quad depth and the
+                // program cannot discard, so run all tests first and shade
+                // only surviving fragments (this is what makes early
+                // depth-culling "a significant performance increase",
+                // §6.2.1).
+                match run_tests(env.state, band, idx, env.quad_depth, env.draw_color[3]) {
+                    TestOutcome::Pass => {
+                        if env.state.color_mask.any() {
+                            let input =
+                                FragmentInput::for_pixel(x, y, env.quad_depth, env.draw_color);
+                            let ctx = FragmentContext {
+                                textures: env.textures,
+                                env: env.env,
+                            };
+                            let out = execute(program, &input, &ctx);
+                            write_color(env.state, band, idx, out.color);
+                            FragmentFate::Passed { shaded: true }
+                        } else {
+                            // Nothing observable from the program: the
+                            // hardware still passes the fragment but the
+                            // shading itself is skipped by early-z.
+                            FragmentFate::Passed { shaded: false }
+                        }
+                    }
+                    TestOutcome::Fail => FragmentFate::Discarded { shaded: false },
+                }
+            } else {
+                // Late path: shade first, then test.
+                let input = FragmentInput::for_pixel(x, y, env.quad_depth, env.draw_color);
+                let ctx = FragmentContext {
+                    textures: env.textures,
+                    env: env.env,
+                };
+                let out = execute(program, &input, &ctx);
+                if out.killed {
+                    return FragmentFate::Discarded { shaded: true };
+                }
+                let frag_depth = out.depth.unwrap_or(env.quad_depth);
+                match run_tests(env.state, band, idx, frag_depth, out.color[3]) {
+                    TestOutcome::Pass => {
+                        write_color(env.state, band, idx, out.color);
+                        FragmentFate::Passed { shaded: true }
+                    }
+                    TestOutcome::Fail => FragmentFate::Discarded { shaded: true },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{CompareFunc, StencilOp};
+
+    fn env_fixed(state: &PipelineState) -> PipelineEnv<'_> {
+        PipelineEnv {
+            state,
+            program: None,
+            textures: &[],
+            env: &[],
+            quad_depth: 0.5,
+            draw_color: [1.0, 0.0, 0.0, 1.0],
+            early_z: true,
+        }
+    }
+
+    fn run_one(env: &PipelineEnv<'_>, fb: &mut Framebuffer, x: usize, y: usize, idx: usize) -> FragmentFate {
+        let mut band = FbBand::full(fb);
+        process_fragment(env, &mut band, x, y, idx)
+    }
+
+    #[test]
+    fn plain_fragment_writes_color_and_depth() {
+        let state = PipelineState {
+            depth: crate::state::DepthState {
+                test_enabled: true,
+                func: CompareFunc::Always,
+                write_enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut fb = Framebuffer::new(2, 2);
+        let fate = run_one(&env_fixed(&state), &mut fb, 1, 0, 1);
+        assert_eq!(fate, FragmentFate::Passed { shaded: false });
+        assert_eq!(fb.color.get(1), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(fb.depth.get_raw(1), quantize_depth(0.5));
+        // untouched pixel
+        assert_eq!(fb.color.get(0), [0.0; 4]);
+    }
+
+    #[test]
+    fn depth_test_rejects_and_preserves_buffers() {
+        let state = PipelineState {
+            depth: crate::state::DepthState {
+                test_enabled: true,
+                func: CompareFunc::Less,
+                write_enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut fb = Framebuffer::new(1, 1);
+        fb.depth.clear(0.25); // stored 0.25 < incoming 0.5 → Less fails
+        let fate = run_one(&env_fixed(&state), &mut fb, 0, 0, 0);
+        assert_eq!(fate, FragmentFate::Discarded { shaded: false });
+        assert_eq!(fb.depth.get_raw(0), quantize_depth(0.25));
+        assert_eq!(fb.color.get(0), [0.0; 4]);
+    }
+
+    #[test]
+    fn stencil_ops_fire_per_outcome() {
+        // StencilOp(Op1=Zero on stencil fail, Op2=Incr on depth fail,
+        // Op3=Replace on pass), mirroring the paper's §3.4 pseudo-code.
+        let mut state = PipelineState::default();
+        state.stencil.enabled = true;
+        state.stencil.func = CompareFunc::Equal;
+        state.stencil.reference = 1;
+        state.stencil.op_fail = StencilOp::Zero;
+        state.stencil.op_zfail = StencilOp::Incr;
+        state.stencil.op_zpass = StencilOp::Replace;
+        state.depth.test_enabled = true;
+        state.depth.func = CompareFunc::Less;
+        state.depth.write_enabled = false;
+
+        let mut fb = Framebuffer::new(3, 1);
+        // pixel 0: stencil 1 (passes), depth far (pass) → Replace → 1
+        fb.stencil.set(0, 1);
+        fb.depth.set_raw(0, quantize_depth(1.0));
+        // pixel 1: stencil 1 (passes), depth near (fail) → Incr → 2
+        fb.stencil.set(1, 1);
+        fb.depth.set_raw(1, quantize_depth(0.0));
+        // pixel 2: stencil 5 (fails) → Zero
+        fb.stencil.set(2, 5);
+
+        let env = env_fixed(&state);
+        assert_eq!(
+            run_one(&env, &mut fb, 0, 0, 0),
+            FragmentFate::Passed { shaded: false }
+        );
+        assert_eq!(
+            run_one(&env, &mut fb, 1, 0, 1),
+            FragmentFate::Discarded { shaded: false }
+        );
+        assert_eq!(
+            run_one(&env, &mut fb, 2, 0, 2),
+            FragmentFate::Discarded { shaded: false }
+        );
+        assert_eq!(fb.stencil.get(0), 1);
+        assert_eq!(fb.stencil.get(1), 2);
+        assert_eq!(fb.stencil.get(2), 0);
+    }
+
+    #[test]
+    fn alpha_fail_skips_stencil_update() {
+        let mut state = PipelineState::default();
+        state.alpha.enabled = true;
+        state.alpha.func = CompareFunc::GreaterEqual;
+        state.alpha.reference = 0.5;
+        state.stencil.enabled = true;
+        state.stencil.func = CompareFunc::Never;
+        state.stencil.op_fail = StencilOp::Replace;
+        state.stencil.reference = 9;
+
+        let mut fb = Framebuffer::new(1, 1);
+        let mut env = env_fixed(&state);
+        env.draw_color = [0.0, 0.0, 0.0, 0.25]; // alpha 0.25 < 0.5 → discard
+        let fate = run_one(&env, &mut fb, 0, 0, 0);
+        assert_eq!(fate, FragmentFate::Discarded { shaded: false });
+        // alpha-discarded fragments never reach the stencil stage
+        assert_eq!(fb.stencil.get(0), 0);
+    }
+
+    #[test]
+    fn depth_bounds_discards_without_stencil_update() {
+        let mut state = PipelineState::default();
+        state.stencil.enabled = true;
+        state.stencil.func = CompareFunc::Always;
+        state.stencil.op_zpass = StencilOp::Replace;
+        state.stencil.reference = 1;
+        state.depth_bounds.enabled = true;
+        state.depth_bounds.min = 0.4;
+        state.depth_bounds.max = 0.6;
+        state.depth.test_enabled = false;
+        state.depth.write_enabled = false;
+
+        let mut fb = Framebuffer::new(2, 1);
+        fb.depth.set_raw(0, quantize_depth(0.5)); // in bounds
+        fb.depth.set_raw(1, quantize_depth(0.9)); // out of bounds
+
+        let env = env_fixed(&state);
+        assert_eq!(
+            run_one(&env, &mut fb, 0, 0, 0),
+            FragmentFate::Passed { shaded: false }
+        );
+        assert_eq!(
+            run_one(&env, &mut fb, 1, 0, 1),
+            FragmentFate::Discarded { shaded: false }
+        );
+        assert_eq!(fb.stencil.get(0), 1, "in-bounds pixel marked");
+        assert_eq!(fb.stencil.get(1), 0, "out-of-bounds pixel untouched");
+    }
+
+    #[test]
+    fn color_mask_none_blocks_writes() {
+        let state = PipelineState {
+            color_mask: crate::state::ColorMask::NONE,
+            ..Default::default()
+        };
+        let mut fb = Framebuffer::new(1, 1);
+        let env = env_fixed(&state);
+        run_one(&env, &mut fb, 0, 0, 0);
+        assert_eq!(fb.color.get(0), [0.0; 4]);
+    }
+
+    #[test]
+    fn depth_write_disabled_preserves_depth() {
+        let mut state = PipelineState::default();
+        state.depth.test_enabled = false;
+        state.depth.write_enabled = false;
+        let mut fb = Framebuffer::new(1, 1);
+        let before = fb.depth.get_raw(0);
+        run_one(&env_fixed(&state), &mut fb, 0, 0, 0);
+        assert_eq!(fb.depth.get_raw(0), before);
+    }
+
+    #[test]
+    fn band_local_indexing() {
+        // A band starting at row 1 of a 4x3 framebuffer must map global
+        // indices onto its local slices correctly.
+        let mut fb = Framebuffer::new(4, 3);
+        let state = PipelineState {
+            depth: crate::state::DepthState {
+                test_enabled: true,
+                func: CompareFunc::Always,
+                write_enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let env = env_fixed(&state);
+        {
+            let color = fb.color.data_mut();
+            let (_, color_band) = color.split_at_mut(4);
+            // Reborrow depth/stencil similarly.
+            let mut fb2 = Framebuffer::new(4, 2);
+            let mut band = FbBand {
+                color: color_band,
+                depth: fb2.depth.raw_data_mut(),
+                stencil: fb2.stencil.data_mut(),
+                base: 4,
+            };
+            let fate = process_fragment(&env, &mut band, 2, 1, 6);
+            assert_eq!(fate, FragmentFate::Passed { shaded: false });
+        }
+        assert_eq!(fb.color.get(6), [1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(fb.color.get(2), [0.0; 4], "row 0 untouched");
+    }
+}

@@ -1,0 +1,222 @@
+//! The paper's fragment programs, assembled from source exactly as the
+//! hand-optimized Cg output would have been.
+//!
+//! Conventions shared by all builtin programs:
+//!
+//! * texture unit 0 holds the attribute texture;
+//! * `program.env[0].x` holds a scale factor (normalization constant or
+//!   `1 / 2^(i+1)` bit divisor);
+//! * `program.env[1]` holds a one-hot channel selector so a single program
+//!   serves all four channels of an RGBA attribute texture;
+//! * `program.env[2..]` hold per-algorithm constants (semi-linear
+//!   coefficients, comparison constant).
+
+use super::isa::FragmentProgram;
+use super::parser::assemble;
+use crate::state::CompareFunc;
+
+/// Environment parameter index of the scale factor.
+pub const ENV_SCALE: usize = 0;
+/// Environment parameter index of the one-hot channel selector.
+pub const ENV_CHANNEL: usize = 1;
+/// Environment parameter index of the semi-linear coefficient vector.
+pub const ENV_COEFF: usize = 2;
+/// Environment parameter index of the semi-linear comparison constant
+/// (broadcast in all components).
+pub const ENV_CONST: usize = 3;
+
+/// A one-hot RGBA selector for an attribute channel.
+pub fn channel_selector(channel: usize) -> [f32; 4] {
+    assert!(channel < 4, "channel out of range");
+    let mut v = [0.0; 4];
+    v[channel] = 1.0;
+    v
+}
+
+/// `CopyToDepth` (§5.4): "Our copy fragment program implementation requires
+/// three instructions. 1. Texture Fetch [...] 2. Normalization [...]
+/// 3. Copy To Depth." Our version adds one `DP4` for channel selection so
+/// the same program serves any channel of a 4-attribute texture.
+pub fn copy_to_depth() -> FragmentProgram {
+    assemble(
+        "!!ARBfp1.0
+         # CopyToDepth: fetch attribute, normalize, write depth.
+         TEX R0, fragment.texcoord[0], texture[0], 2D;
+         DP4 R1.x, R0, program.env[1];
+         MUL R1.x, R1.x, program.env[0].x;
+         MOV result.depth, R1.x;
+         END",
+    )
+    .expect("builtin copy_to_depth must assemble")
+}
+
+/// `SemilinearFP` (Routine 4.2): computes `dot(s, a) op b` and discards
+/// fragments failing the comparison. The comparison is compiled into the
+/// instruction sequence (the hardware has no runtime branches), so there is
+/// one program per operator.
+///
+/// `env[ENV_COEFF]` holds `s`, `env[ENV_CONST]` holds `b` broadcast.
+pub fn semilinear(op: CompareFunc) -> FragmentProgram {
+    // R1.x = dot(s, a) - b; R2.x = pass flag in {0, 1}; kill if flag == 0.
+    let flag = match op {
+        // dot < b  ⇔  d < 0
+        CompareFunc::Less => "SLT R2.x, R1.x, 0.0;",
+        // dot <= b ⇔  ¬(d > 0) ⇔ SGE(0, d)
+        CompareFunc::LessEqual => "SGE R2.x, -R1.x, 0.0;",
+        // dot > b  ⇔  0 < d
+        CompareFunc::Greater => "SLT R2.x, -R1.x, 0.0;",
+        // dot >= b ⇔  d >= 0
+        CompareFunc::GreaterEqual => "SGE R2.x, R1.x, 0.0;",
+        // dot == b ⇔  |d| <= 0  ⇔ SGE(-|d|, 0)
+        CompareFunc::Equal => "ABS R2.x, R1.x; SGE R2.x, -R2.x, 0.0;",
+        // dot != b ⇔  |d| > 0   ⇔ SLT(-|d|, 0)
+        CompareFunc::NotEqual => "ABS R2.x, R1.x; SLT R2.x, -R2.x, 0.0;",
+        CompareFunc::Always => "SGE R2.x, 0.0, 0.0;",
+        CompareFunc::Never => "SLT R2.x, 0.0, 0.0;",
+    };
+    let source = format!(
+        "!!ARBfp1.0
+         # SemilinearFP: kill fragments failing dot(s, a) {op:?} b.
+         TEX R0, fragment.texcoord[0], texture[0], 2D;
+         DP4 R1.x, R0, program.env[{coeff}];
+         SUB R1.x, R1.x, program.env[{cnst}].x;
+         {flag}
+         SUB R2.x, R2.x, 0.5;
+         KIL R2.x;
+         MOV result.color, R0;
+         END",
+        coeff = ENV_COEFF,
+        cnst = ENV_CONST,
+    );
+    assemble(&source).expect("builtin semilinear must assemble")
+}
+
+/// `TestBit` (Routine 4.6): "we divide each value by 2^(i+1) and put the
+/// fractional part of the result into the alpha channel", so the alpha test
+/// (`alpha >= 0.5`) passes exactly when bit `i` is set.
+///
+/// `env[ENV_SCALE].x` must hold `1 / 2^(i+1)`.
+pub fn test_bit() -> FragmentProgram {
+    assemble(
+        "!!ARBfp1.0
+         # TestBit: alpha = frac(v / 2^(i+1)).
+         TEX R0, fragment.texcoord[0], texture[0], 2D;
+         DP4 R1.x, R0, program.env[1];
+         MUL R1.x, R1.x, program.env[0].x;
+         FRC R1.x, R1.x;
+         MOV result.color.a, R1.x;
+         END",
+    )
+    .expect("builtin test_bit must assemble")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::interp::{execute, FragmentContext, FragmentInput};
+    use crate::program::isa::NUM_PARAMS;
+    use crate::texture::{Texture, TextureFormat};
+
+    fn run_on_value(
+        prog: &FragmentProgram,
+        value: f32,
+        env: &mut [[f32; 4]; NUM_PARAMS],
+    ) -> crate::program::interp::ProgramOutput {
+        let tex = Texture::from_data(1, 1, TextureFormat::R, vec![value]).unwrap();
+        let input = FragmentInput::for_pixel(0, 0, 0.0, [0.0, 0.0, 0.0, 1.0]);
+        let textures: [Option<&Texture>; 1] = [Some(&tex)];
+        let ctx = FragmentContext {
+            textures: &textures,
+            env,
+        };
+        execute(prog, &input, &ctx)
+    }
+
+    #[test]
+    fn channel_selector_one_hot() {
+        assert_eq!(channel_selector(0), [1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(channel_selector(3), [0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel out of range")]
+    fn channel_selector_bounds() {
+        channel_selector(4);
+    }
+
+    #[test]
+    fn copy_to_depth_is_paper_sized() {
+        let prog = copy_to_depth();
+        // TEX + select + normalize + move: the paper's 3 plus channel select.
+        assert_eq!(prog.len(), 4);
+        assert!(prog.writes_depth);
+        assert!(!prog.has_kil);
+    }
+
+    #[test]
+    fn copy_to_depth_normalizes() {
+        let prog = copy_to_depth();
+        let mut env = [[0.0f32; 4]; NUM_PARAMS];
+        env[ENV_SCALE] = [1.0 / 1000.0, 0.0, 0.0, 0.0];
+        env[ENV_CHANNEL] = channel_selector(0);
+        let out = run_on_value(&prog, 250.0, &mut env);
+        assert_eq!(out.depth, Some(0.25));
+    }
+
+    #[test]
+    fn semilinear_all_operators() {
+        let mut env = [[0.0f32; 4]; NUM_PARAMS];
+        env[ENV_COEFF] = [2.0, 0.0, 0.0, 0.0]; // dot = 2 * a.x
+        for op in [
+            CompareFunc::Less,
+            CompareFunc::LessEqual,
+            CompareFunc::Greater,
+            CompareFunc::GreaterEqual,
+            CompareFunc::Equal,
+            CompareFunc::NotEqual,
+            CompareFunc::Always,
+            CompareFunc::Never,
+        ] {
+            let prog = semilinear(op);
+            assert!(prog.has_kil);
+            for (value, b) in [(1.0f32, 4.0f32), (2.0, 4.0), (3.0, 4.0)] {
+                env[ENV_CONST] = [b; 4];
+                let out = run_on_value(&prog, value, &mut env);
+                let dot = 2.0 * value;
+                let expected_pass = op.eval(dot, b);
+                assert_eq!(
+                    !out.killed, expected_pass,
+                    "op {op:?}, dot {dot}, b {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn test_bit_is_paper_sized() {
+        // §6.2.3: "we used a fragment program with at least 5 instructions
+        // to test if the i-th bit of a texel is 1."
+        let prog = test_bit();
+        assert_eq!(prog.len(), 5);
+        assert!(!prog.writes_depth);
+        assert!(!prog.has_kil);
+    }
+
+    #[test]
+    fn test_bit_alpha_encodes_bit() {
+        let prog = test_bit();
+        let mut env = [[0.0f32; 4]; NUM_PARAMS];
+        env[ENV_CHANNEL] = channel_selector(0);
+        for value in [0u32, 1, 5, 0xAAAA, (1 << 24) - 1] {
+            for bit in 0..24 {
+                env[ENV_SCALE] = [0.5f32.powi(bit + 1), 0.0, 0.0, 0.0];
+                let out = run_on_value(&prog, value as f32, &mut env);
+                assert_eq!(
+                    out.color[3] >= 0.5,
+                    (value >> bit) & 1 == 1,
+                    "value {value}, bit {bit}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Programmable fragment processing: instruction set, assembler,
+//! interpreter, and the paper's builtin programs.
+
+pub mod builtin;
+pub mod interp;
+pub mod isa;
+pub mod parser;
+
+pub use interp::{execute, FragmentContext, FragmentInput, ProgramOutput};
+pub use isa::{FragmentProgram, Instruction, Opcode};
+pub use parser::assemble;

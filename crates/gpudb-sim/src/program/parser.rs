@@ -1,0 +1,634 @@
+//! Assembler for the ARB-style fragment program text format.
+//!
+//! Accepts the dialect produced by hand-optimizing Cg compiler output, e.g.:
+//!
+//! ```text
+//! !!ARBfp1.0
+//! # copy an attribute channel into the depth buffer
+//! TEMP R0, R1;
+//! PARAM scale = {5.9604645e-08, 0, 0, 0};
+//! TEX R0, fragment.texcoord[0], texture[0], 2D;
+//! DP4 R1.x, R0, program.env[1];
+//! MUL R1.x, R1.x, scale.x;
+//! MOV result.depth, R1.x;
+//! END
+//! ```
+
+use super::isa::{
+    DstOperand, DstReg, FragmentProgram, Instruction, Opcode, SrcOperand, SrcReg, Swizzle,
+    WriteMask, NUM_PARAMS, NUM_TEMPS, NUM_TEXCOORDS, NUM_TEXTURE_UNITS,
+};
+use crate::error::{GpuError, GpuResult};
+use std::collections::HashMap;
+
+/// Assemble fragment program source text into an executable program.
+pub fn assemble(source: &str) -> GpuResult<FragmentProgram> {
+    Assembler::new(source).run()
+}
+
+struct Assembler<'a> {
+    source: &'a str,
+    /// named temporaries declared with TEMP (name -> register index)
+    temps: HashMap<String, usize>,
+    next_temp: usize,
+    /// named constants declared with PARAM (name -> operand)
+    params: HashMap<String, SrcReg>,
+    literals: Vec<[f32; 4]>,
+    instructions: Vec<Instruction>,
+}
+
+fn err(msg: impl Into<String>) -> GpuError {
+    GpuError::ProgramError(msg.into())
+}
+
+impl<'a> Assembler<'a> {
+    fn new(source: &'a str) -> Assembler<'a> {
+        Assembler {
+            source,
+            temps: HashMap::new(),
+            next_temp: 0,
+            params: HashMap::new(),
+            literals: Vec::new(),
+            instructions: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> GpuResult<FragmentProgram> {
+        let mut text = String::with_capacity(self.source.len());
+        // Strip comments line by line.
+        for line in self.source.lines() {
+            let line = match line.find('#') {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            text.push_str(line);
+            text.push('\n');
+        }
+
+        let mut body = text.trim();
+        if let Some(rest) = body.strip_prefix("!!ARBfp1.0") {
+            body = rest;
+        }
+
+        let mut ended = false;
+        for stmt in split_statements(body) {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if ended {
+                return Err(err(format!("statement after END: {stmt:?}")));
+            }
+            if stmt == "END" {
+                ended = true;
+                continue;
+            }
+            self.parse_statement(stmt)?;
+        }
+
+        if self.instructions.is_empty() {
+            return Err(err("program has no instructions"));
+        }
+        Ok(FragmentProgram::from_parts(
+            std::mem::take(&mut self.instructions),
+            std::mem::take(&mut self.literals),
+            self.source.to_string(),
+        ))
+    }
+
+    fn parse_statement(&mut self, stmt: &str) -> GpuResult<()> {
+        let (head, rest) = match stmt.find(char::is_whitespace) {
+            Some(i) => (&stmt[..i], stmt[i..].trim()),
+            None => (stmt, ""),
+        };
+        match head.to_ascii_uppercase().as_str() {
+            "TEMP" => self.parse_temp_decl(rest),
+            "PARAM" => self.parse_param_decl(rest),
+            "ATTRIB" | "OUTPUT" | "ALIAS" | "OPTION" => {
+                Err(err(format!("unsupported declaration: {head}")))
+            }
+            _ => self.parse_instruction(head, rest),
+        }
+    }
+
+    fn parse_temp_decl(&mut self, rest: &str) -> GpuResult<()> {
+        for name in rest.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err("empty TEMP name"));
+            }
+            if !is_identifier(name) {
+                return Err(err(format!("invalid TEMP name {name:?}")));
+            }
+            if self.temps.contains_key(name) || self.params.contains_key(name) {
+                return Err(err(format!("duplicate declaration of {name:?}")));
+            }
+            if self.next_temp >= NUM_TEMPS {
+                return Err(err(format!(
+                    "too many temporaries (max {NUM_TEMPS})"
+                )));
+            }
+            self.temps.insert(name.to_string(), self.next_temp);
+            self.next_temp += 1;
+        }
+        Ok(())
+    }
+
+    fn parse_param_decl(&mut self, rest: &str) -> GpuResult<()> {
+        let (name, value) = rest
+            .split_once('=')
+            .ok_or_else(|| err(format!("PARAM without '=': {rest:?}")))?;
+        let name = name.trim();
+        if !is_identifier(name) {
+            return Err(err(format!("invalid PARAM name {name:?}")));
+        }
+        if self.temps.contains_key(name) || self.params.contains_key(name) {
+            return Err(err(format!("duplicate declaration of {name:?}")));
+        }
+        let value = value.trim();
+        let reg = if let Some(idx) = parse_indexed(value, "program.env")? {
+            self.check_param_index(idx)?;
+            SrcReg::Param(idx)
+        } else if let Some(idx) = parse_indexed(value, "program.local")? {
+            self.check_param_index(idx)?;
+            SrcReg::Param(idx)
+        } else {
+            let lit = parse_literal_vector(value)?;
+            SrcReg::Literal(self.intern_literal(lit))
+        };
+        self.params.insert(name.to_string(), reg);
+        Ok(())
+    }
+
+    fn check_param_index(&self, idx: usize) -> GpuResult<()> {
+        if idx >= NUM_PARAMS {
+            Err(err(format!("parameter index {idx} out of range")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn intern_literal(&mut self, lit: [f32; 4]) -> usize {
+        if let Some(i) = self.literals.iter().position(|l| l == &lit) {
+            return i;
+        }
+        self.literals.push(lit);
+        self.literals.len() - 1
+    }
+
+    fn parse_instruction(&mut self, head: &str, rest: &str) -> GpuResult<()> {
+        let op = Opcode::from_mnemonic(head)
+            .ok_or_else(|| err(format!("unknown opcode {head:?}")))?;
+        let operands = split_operands(rest);
+
+        match op {
+            Opcode::Kil => {
+                if operands.len() != 1 {
+                    return Err(err(format!("KIL takes 1 operand, got {}", operands.len())));
+                }
+                let src = self.parse_src(operands[0])?;
+                self.instructions.push(Instruction::Kil { src });
+            }
+            Opcode::Tex => {
+                // TEX dst, coord, texture[n], 2D;
+                if operands.len() != 4 {
+                    return Err(err(format!(
+                        "TEX takes 4 operands (dst, coord, texture[n], 2D), got {}",
+                        operands.len()
+                    )));
+                }
+                let dst = self.parse_dst(operands[0])?;
+                let coord = self.parse_src(operands[1])?;
+                let unit = parse_indexed(operands[2].trim(), "texture")?
+                    .ok_or_else(|| err(format!("expected texture[n], got {:?}", operands[2])))?;
+                if unit >= NUM_TEXTURE_UNITS {
+                    return Err(err(format!("texture unit {unit} out of range")));
+                }
+                let target = operands[3].trim().to_ascii_uppercase();
+                if target != "2D" {
+                    return Err(err(format!("unsupported texture target {target:?}")));
+                }
+                self.instructions.push(Instruction::Tex { dst, coord, unit });
+            }
+            _ => {
+                let expected = 1 + op.arity();
+                if operands.len() != expected {
+                    return Err(err(format!(
+                        "{} takes {} operands, got {}",
+                        op.mnemonic(),
+                        expected,
+                        operands.len()
+                    )));
+                }
+                let dst = self.parse_dst(operands[0])?;
+                let mut srcs: [Option<SrcOperand>; 3] = [None, None, None];
+                for (i, text) in operands[1..].iter().enumerate() {
+                    srcs[i] = Some(self.parse_src(text)?);
+                }
+                self.instructions.push(Instruction::Alu { op, dst, srcs });
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_dst(&mut self, text: &str) -> GpuResult<DstOperand> {
+        let text = text.trim();
+        // Split an optional ".mask" suffix — but only the *last* dot, and
+        // only if it parses as a mask (so `result.color` keeps its dot).
+        let (base, mask) = split_dst_suffix(text);
+        let mask = match mask {
+            Some(m) => {
+                WriteMask::parse(m).ok_or_else(|| err(format!("invalid write mask {m:?}")))?
+            }
+            None => WriteMask::ALL,
+        };
+        let reg = match base {
+            "result.color" => DstReg::ResultColor,
+            "result.depth" => DstReg::ResultDepth,
+            name => DstReg::Temp(self.resolve_temp(name)?),
+        };
+        Ok(DstOperand { reg, mask })
+    }
+
+    fn parse_src(&mut self, text: &str) -> GpuResult<SrcOperand> {
+        let mut text = text.trim();
+        let negate = if let Some(rest) = text.strip_prefix('-') {
+            text = rest.trim();
+            true
+        } else {
+            false
+        };
+
+        // Inline literal vector or scalar?
+        if text.starts_with('{') {
+            let lit = parse_literal_vector(text)?;
+            let idx = self.intern_literal(lit);
+            return Ok(SrcOperand {
+                reg: SrcReg::Literal(idx),
+                swizzle: Swizzle::IDENTITY,
+                negate,
+            });
+        }
+        if text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '.')
+            && text.parse::<f32>().is_ok()
+        {
+            let v = text.parse::<f32>().unwrap();
+            let idx = self.intern_literal([v; 4]);
+            return Ok(SrcOperand {
+                reg: SrcReg::Literal(idx),
+                swizzle: Swizzle::IDENTITY,
+                negate,
+            });
+        }
+
+        let (base, swz) = split_src_suffix(text);
+        let swizzle = match swz {
+            Some(s) => Swizzle::parse(s).ok_or_else(|| err(format!("invalid swizzle {s:?}")))?,
+            None => Swizzle::IDENTITY,
+        };
+
+        let reg = if let Some(idx) = parse_indexed(base, "program.env")? {
+            self.check_param_index(idx)?;
+            SrcReg::Param(idx)
+        } else if let Some(idx) = parse_indexed(base, "program.local")? {
+            self.check_param_index(idx)?;
+            SrcReg::Param(idx)
+        } else if let Some(idx) = parse_indexed(base, "fragment.texcoord")? {
+            if idx >= NUM_TEXCOORDS {
+                return Err(err(format!("texcoord index {idx} out of range")));
+            }
+            SrcReg::TexCoord(idx)
+        } else if base == "fragment.texcoord" {
+            SrcReg::TexCoord(0)
+        } else if base == "fragment.position" {
+            SrcReg::Position
+        } else if base == "fragment.color" {
+            SrcReg::FragColor
+        } else if let Some(&reg) = self.params.get(base) {
+            reg
+        } else {
+            SrcReg::Temp(self.resolve_temp(base)?)
+        };
+        Ok(SrcOperand {
+            reg,
+            swizzle,
+            negate,
+        })
+    }
+
+    /// Resolve a temp register name: either declared via TEMP, or the
+    /// implicit `R0`..`R11` convention.
+    fn resolve_temp(&mut self, name: &str) -> GpuResult<usize> {
+        if let Some(&idx) = self.temps.get(name) {
+            return Ok(idx);
+        }
+        if let Some(num) = name.strip_prefix('R').and_then(|n| n.parse::<usize>().ok()) {
+            if num < NUM_TEMPS {
+                // Implicitly declare Rn as temp register n.
+                self.temps.insert(name.to_string(), num);
+                self.next_temp = self.next_temp.max(num + 1);
+                return Ok(num);
+            }
+            return Err(err(format!("temporary register index {num} out of range")));
+        }
+        Err(err(format!("unknown register or identifier {name:?}")))
+    }
+}
+
+/// Whether a string is a valid identifier (letter/underscore then
+/// alphanumerics/underscores).
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '$' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+}
+
+/// Split source text into `;`-terminated statements (braces may not contain
+/// semicolons in this dialect, so a plain split is sound).
+fn split_statements(body: &str) -> impl Iterator<Item = &str> {
+    body.split(';')
+}
+
+/// Split an operand list on top-level commas (commas inside `{...}` literals
+/// do not separate operands).
+fn split_operands(rest: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&rest[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = rest[start..].trim();
+    if !tail.is_empty() || !out.is_empty() {
+        out.push(&rest[start..]);
+    }
+    out.retain(|s| !s.trim().is_empty());
+    out
+}
+
+/// Parse `prefix[idx]` and return `idx`, or `None` if `text` doesn't start
+/// with `prefix[`.
+fn parse_indexed(text: &str, prefix: &str) -> GpuResult<Option<usize>> {
+    let Some(rest) = text.strip_prefix(prefix) else {
+        return Ok(None);
+    };
+    let Some(rest) = rest.strip_prefix('[') else {
+        return Ok(None);
+    };
+    let Some(inner) = rest.strip_suffix(']') else {
+        return Err(err(format!("missing ']' in {text:?}")));
+    };
+    inner
+        .trim()
+        .parse::<usize>()
+        .map(Some)
+        .map_err(|_| err(format!("invalid index in {text:?}")))
+}
+
+/// Parse `{a, b, c, d}` (1–4 components, missing ones default to 0,0,0,1
+/// except a 1-element literal which broadcasts) or a bare scalar.
+fn parse_literal_vector(text: &str) -> GpuResult<[f32; 4]> {
+    let text = text.trim();
+    if let Ok(v) = text.parse::<f32>() {
+        return Ok([v; 4]);
+    }
+    let inner = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| err(format!("invalid literal {text:?}")))?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if parts.is_empty() || parts.len() > 4 {
+        return Err(err(format!("literal must have 1-4 components: {text:?}")));
+    }
+    let mut vals = Vec::with_capacity(parts.len());
+    for p in &parts {
+        vals.push(
+            p.parse::<f32>()
+                .map_err(|_| err(format!("invalid number {p:?} in literal")))?,
+        );
+    }
+    if vals.len() == 1 {
+        return Ok([vals[0]; 4]);
+    }
+    let mut out = [0.0, 0.0, 0.0, 1.0];
+    out[..vals.len()].copy_from_slice(&vals);
+    Ok(out)
+}
+
+/// Split a destination operand into base and optional write-mask suffix.
+fn split_dst_suffix(text: &str) -> (&str, Option<&str>) {
+    // Try the longest known base names first.
+    for base in ["result.color", "result.depth"] {
+        if let Some(rest) = text.strip_prefix(base) {
+            if rest.is_empty() {
+                return (base, None);
+            }
+            if let Some(mask) = rest.strip_prefix('.') {
+                return (base, Some(mask));
+            }
+        }
+    }
+    match text.rfind('.') {
+        Some(i) => (&text[..i], Some(&text[i + 1..])),
+        None => (text, None),
+    }
+}
+
+/// Split a source operand into base and optional swizzle suffix. The base
+/// may itself contain dots (`fragment.texcoord[0]`), so only a final
+/// component-letter suffix counts as a swizzle.
+fn split_src_suffix(text: &str) -> (&str, Option<&str>) {
+    if let Some(i) = text.rfind('.') {
+        let suffix = &text[i + 1..];
+        if !suffix.is_empty()
+            && suffix.len() <= 4
+            && suffix
+                .chars()
+                .all(|c| matches!(c.to_ascii_lowercase(), 'x' | 'y' | 'z' | 'w' | 'r' | 'g' | 'b' | 'a'))
+        {
+            return (&text[..i], Some(suffix));
+        }
+    }
+    (text, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_copy_to_depth_style_program() {
+        let prog = assemble(
+            r"!!ARBfp1.0
+            # copy attribute to depth
+            TEMP R0, R1;
+            TEX R0, fragment.texcoord[0], texture[0], 2D;
+            DP4 R1.x, R0, program.env[1];
+            MUL R1.x, R1.x, program.env[0].x;
+            MOV result.depth, R1.x;
+            END",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        assert!(prog.writes_depth);
+        assert!(!prog.has_kil);
+        assert_eq!(prog.texture_units, 1);
+        // TEX(2) + DP4(1) + MUL(1) + MOV(1)
+        assert_eq!(prog.cycle_cost, 5);
+    }
+
+    #[test]
+    fn assembles_kil_program() {
+        let prog = assemble(
+            r"TEX R0, fragment.texcoord[0], texture[0], 2D;
+              DP4 R1.x, R0, program.env[0];
+              SUB R1.x, R1.x, program.env[1].x;
+              KIL -R1.x;
+              MOV result.color, R0;",
+        )
+        .unwrap();
+        assert!(prog.has_kil);
+        assert!(!prog.writes_depth);
+        assert_eq!(prog.len(), 5);
+    }
+
+    #[test]
+    fn named_params_and_temps() {
+        let prog = assemble(
+            r"TEMP val, acc;
+              PARAM half = 0.5;
+              PARAM weights = {1.0, 2.0, 3.0, 4.0};
+              PARAM scale = program.env[7];
+              MOV val, weights;
+              MUL acc, val, half.x;
+              MUL acc, acc, scale;
+              MOV result.color, acc;",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        assert_eq!(prog.literals.len(), 2);
+        assert!(prog.literals.contains(&[0.5; 4]));
+        assert!(prog.literals.contains(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(parse_literal_vector("0.5").unwrap(), [0.5; 4]);
+        assert_eq!(parse_literal_vector("{2}").unwrap(), [2.0; 4]);
+        assert_eq!(
+            parse_literal_vector("{1, 2}").unwrap(),
+            [1.0, 2.0, 0.0, 1.0]
+        );
+        assert_eq!(
+            parse_literal_vector("{1, 2, 3, 4}").unwrap(),
+            [1.0, 2.0, 3.0, 4.0]
+        );
+        assert!(parse_literal_vector("{1,2,3,4,5}").is_err());
+        assert!(parse_literal_vector("{a}").is_err());
+        assert!(parse_literal_vector("nope").is_err());
+    }
+
+    #[test]
+    fn inline_literals_are_interned() {
+        let prog = assemble(
+            r"ADD R0, fragment.texcoord[0], 0.5;
+              ADD R1, R0, 0.5;
+              MOV result.color, R1;",
+        )
+        .unwrap();
+        assert_eq!(prog.literals.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_programs() {
+        // unknown opcode
+        assert!(assemble("FOO R0, R1;").is_err());
+        // wrong arity
+        assert!(assemble("ADD R0, R1;").is_err());
+        assert!(assemble("MOV R0, R1, R2;").is_err());
+        // bad register
+        assert!(assemble("MOV R99, R0;").is_err());
+        assert!(assemble("MOV R0, bogus;").is_err());
+        // bad texture unit
+        assert!(assemble("TEX R0, fragment.texcoord[0], texture[99], 2D;").is_err());
+        // bad target
+        assert!(assemble("TEX R0, fragment.texcoord[0], texture[0], 3D;").is_err());
+        // param out of range
+        assert!(assemble("MOV R0, program.env[99]; MOV result.color, R0;").is_err());
+        // statements after END
+        assert!(assemble("MOV result.color, R0; END MOV result.color, R0;").is_err());
+        // empty program
+        assert!(assemble("").is_err());
+        assert!(assemble("# just a comment").is_err());
+        // unsupported declarations
+        assert!(assemble("OPTION NV_fragment_program;").is_err());
+        // bad swizzle / mask
+        assert!(assemble("MOV R0.yx, R1;").is_err());
+        assert!(assemble("MOV R0, R1.qq;").is_err());
+    }
+
+    #[test]
+    fn negation_and_swizzle_parse() {
+        let prog = assemble("MOV result.color, -fragment.texcoord[1].wzyx;").unwrap();
+        match &prog.instructions[0] {
+            Instruction::Alu { srcs, .. } => {
+                let s = srcs[0].unwrap();
+                assert!(s.negate);
+                assert_eq!(s.reg, SrcReg::TexCoord(1));
+                assert_eq!(s.swizzle, Swizzle([3, 2, 1, 0]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_literal_source() {
+        let prog = assemble("SLT R0.x, fragment.position.x, 100.0; MOV result.color, R0;").unwrap();
+        assert_eq!(prog.literals[0], [100.0; 4]);
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(assemble("TEMP a, a; MOV result.color, a;").is_err());
+        assert!(assemble("PARAM p = 1.0; PARAM p = 2.0; MOV result.color, p;").is_err());
+        assert!(assemble("TEMP p; PARAM p = 1.0; MOV result.color, p;").is_err());
+    }
+
+    #[test]
+    fn too_many_temps_rejected() {
+        let mut src = String::from("TEMP ");
+        for i in 0..=super::NUM_TEMPS {
+            if i > 0 {
+                src.push(',');
+            }
+            src.push_str(&format!("t{i}"));
+        }
+        src.push_str("; MOV result.color, t0;");
+        assert!(assemble(&src).is_err());
+    }
+
+    #[test]
+    fn texcoord_without_index_defaults_to_zero() {
+        let prog = assemble("MOV result.color, fragment.texcoord;").unwrap();
+        match &prog.instructions[0] {
+            Instruction::Alu { srcs, .. } => {
+                assert_eq!(srcs[0].unwrap().reg, SrcReg::TexCoord(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

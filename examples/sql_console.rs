@@ -1,0 +1,131 @@
+//! Interactive SQL-ish console over the GPU engine.
+//!
+//! Loads both paper workloads (`tcpip`, `census`) onto simulated devices
+//! and runs statements typed on stdin (or passed as the first argument).
+//!
+//! ```sh
+//! cargo run --release --example sql_console \
+//!   "SELECT COUNT(*), MEDIAN(data_count) FROM tcpip WHERE data_loss > 0"
+//!
+//! # or interactively:
+//! cargo run --release --example sql_console
+//! sql> SELECT MAX(monthly_income) FROM census WHERE age < 30
+//! ```
+
+use gpudb::core::query::{execute, parse, AggValue};
+use gpudb::data::{census, tcpip};
+use gpudb::prelude::*;
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+struct Catalog {
+    tables: HashMap<String, (Gpu, GpuTable)>,
+}
+
+impl Catalog {
+    fn load() -> EngineResult<Catalog> {
+        let mut tables = HashMap::new();
+        for (name, dataset) in [
+            ("tcpip", tcpip::generate(100_000, 2004)),
+            ("census", census::generate(90_000, 1990)),
+        ] {
+            let cols: Vec<(&str, &[u32])> = dataset
+                .columns
+                .iter()
+                .map(|c| (c.name.as_str(), c.values.as_slice()))
+                .collect();
+            let mut gpu = GpuTable::device_for(dataset.record_count(), 500);
+            let table = GpuTable::upload(&mut gpu, name, &cols)?;
+            tables.insert(name.to_string(), (gpu, table));
+        }
+        Ok(Catalog { tables })
+    }
+
+    fn run(&mut self, sql: &str) {
+        let stmt = match parse(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("parse error: {e}");
+                return;
+            }
+        };
+        let Some((gpu, table)) = self.tables.get_mut(&stmt.table) else {
+            eprintln!(
+                "unknown table {:?}; available: {:?}",
+                stmt.table,
+                self.tables.keys().collect::<Vec<_>>()
+            );
+            return;
+        };
+        if stmt.explain {
+            match gpudb::core::query::explain(table, &stmt.query) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => eprintln!("planning error: {e}"),
+            }
+            return;
+        }
+        match execute(gpu, table, &stmt.query) {
+            Ok(out) => {
+                for (label, value) in &out.rows {
+                    let rendered = match value {
+                        AggValue::Count(v) => format!("{v}"),
+                        AggValue::Sum(v) => format!("{v}"),
+                        AggValue::Avg(v) => format!("{v:.3}"),
+                        AggValue::Value(v) => format!("{v}"),
+                    };
+                    println!("{label:<32} {rendered}");
+                }
+                println!(
+                    "-- {} rows matched ({:.2}% selectivity); modeled GPU time \
+                     {:.3} ms = copy {:.3} + compute {:.3} + readback {:.3}",
+                    out.matched,
+                    out.selectivity * 100.0,
+                    out.timing.total() * 1e3,
+                    out.timing.copy * 1e3,
+                    out.timing.compute * 1e3,
+                    out.timing.readback * 1e3
+                );
+            }
+            Err(e) => eprintln!("execution error: {e}"),
+        }
+    }
+
+    fn describe(&self) {
+        for (name, (_, table)) in &self.tables {
+            let cols: Vec<&str> = table.columns().iter().map(|c| c.name.as_str()).collect();
+            println!(
+                "table {name}: {} records, columns {cols:?}",
+                table.record_count()
+            );
+        }
+    }
+}
+
+fn main() -> EngineResult<()> {
+    println!("loading workloads onto simulated GeForce FX devices...");
+    let mut catalog = Catalog::load()?;
+    catalog.describe();
+
+    if let Some(sql) = std::env::args().nth(1) {
+        catalog.run(&sql);
+        return Ok(());
+    }
+
+    let stdin = io::stdin();
+    loop {
+        print!("sql> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "\\q" | "quit" | "exit" => break,
+            "\\d" | "describe" => catalog.describe(),
+            sql => catalog.run(sql),
+        }
+    }
+    Ok(())
+}
