@@ -2,17 +2,15 @@
 //! SUM, depth-bounds range vs general EvalCNF, the conjunction fast path
 //! vs Routine 4.3, and the bitonic sort extension.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpudb_bench::harness::Workload;
 use gpudb_core::aggregate::{mipmap_sum, sum};
-use gpudb_core::boolean::{
-    eval_cnf_general_select, eval_conjunction_select, GpuCnf, GpuPredicate,
-};
+use gpudb_core::boolean::{eval_cnf_general_select, eval_conjunction_select, GpuCnf, GpuPredicate};
 use gpudb_core::range::range_select;
 use gpudb_core::sort::sort_values;
 use gpudb_data::selectivity::{range_for_selectivity, threshold_for_ge};
 use gpudb_sim::{CompareFunc, Gpu};
+use std::time::Duration;
 
 fn bench_sum_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl_sum_strategy");
@@ -99,7 +97,9 @@ fn bench_sort(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
     for n in [1_024usize, 4_096] {
-        let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % (1 << 20)).collect();
+        let values: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761) % (1 << 20))
+            .collect();
         group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
             let width = (n as f64).sqrt() as usize;
             let width = width.next_power_of_two();

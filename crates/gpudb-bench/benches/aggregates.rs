@@ -1,13 +1,13 @@
 //! Criterion microbenchmarks for the aggregation algorithms
 //! (Figures 7-10 and §5.11).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpudb_bench::harness::Workload;
 use gpudb_core::aggregate::{kth_largest, median, sum};
 use gpudb_core::predicate::compare_select;
 use gpudb_data::selectivity::threshold_for_ge;
 use gpudb_sim::CompareFunc;
+use std::time::Duration;
 
 fn bench_kth_largest(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_kth_largest");

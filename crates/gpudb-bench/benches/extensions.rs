@@ -2,7 +2,6 @@
 //! histograms and roll-ups, out-of-core chunking, polynomial queries, and
 //! the §6.1 depth-compare-mask accumulator.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpudb_bench::harness::Workload;
 use gpudb_core::aggregate::{sum, sum_with_depth_mask};
@@ -12,6 +11,7 @@ use gpudb_core::out_of_core::ChunkedTable;
 use gpudb_core::semilinear::polynomial_select;
 use gpudb_core::table::GpuTable;
 use gpudb_sim::{CompareFunc, HardwareProfile};
+use std::time::Duration;
 
 fn bench_dnf(c: &mut Criterion) {
     let mut group = c.benchmark_group("ext_dnf");
@@ -123,11 +123,7 @@ fn bench_wishlist_accumulator(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     let dataset = gpudb_data::tcpip::generate(16_384, 7);
     let values = &dataset.columns[0].values;
-    let mut gpu = gpudb_sim::Gpu::new(
-        HardwareProfile::geforce_fx_5900_with_depth_mask(),
-        128,
-        128,
-    );
+    let mut gpu = gpudb_sim::Gpu::new(HardwareProfile::geforce_fx_5900_with_depth_mask(), 128, 128);
     let table = GpuTable::upload(&mut gpu, "t", &[("a", values)]).unwrap();
     group.bench_function("testbit_program", |b| {
         b.iter(|| sum(&mut gpu, &table, 0, None).unwrap())

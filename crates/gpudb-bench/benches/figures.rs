@@ -2,10 +2,10 @@
 //! experiment as the `reproduce` harness at a fixed reduced size, so
 //! regressions in any reproduced pipeline show up in `cargo bench`.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpudb_bench::experiments;
 use gpudb_bench::report::Scale;
+use std::time::Duration;
 
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
@@ -30,7 +30,15 @@ fn bench_heavy_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(2));
-    for id in ["fig7", "fig8", "fig9", "fig10", "abl_mipmap", "abl_range", "ext_sort"] {
+    for id in [
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "abl_mipmap",
+        "abl_range",
+        "ext_sort",
+    ] {
         group.bench_function(id, |b| {
             b.iter(|| {
                 let result = experiments::run(id, Scale::Small).unwrap();

@@ -2,7 +2,6 @@
 //! measuring the simulator's wall-clock alongside the equivalent CPU
 //! baselines. Modeled-2004 comparisons live in the `reproduce` binary.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpudb_bench::harness::Workload;
 use gpudb_core::boolean::{eval_cnf_select, GpuCnf, GpuPredicate};
@@ -11,6 +10,7 @@ use gpudb_core::range::range_select;
 use gpudb_core::semilinear::semilinear_select;
 use gpudb_data::selectivity::{range_for_selectivity, threshold_for_ge};
 use gpudb_sim::CompareFunc;
+use std::time::Duration;
 
 const SIZES: [usize; 3] = [4_096, 16_384, 65_536];
 
@@ -45,8 +45,7 @@ fn bench_predicate(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gpu_sim", n), &n, |b, _| {
             b.iter(|| {
                 let table = &w.table;
-                compare_select(&mut w.gpu, table, 0, CompareFunc::GreaterEqual, threshold)
-                    .unwrap()
+                compare_select(&mut w.gpu, table, 0, CompareFunc::GreaterEqual, threshold).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("cpu_scan", n), &n, |b, _| {
@@ -87,7 +86,11 @@ fn bench_multiattr(c: &mut Criterion) {
     let n = 16_384;
     let mut w = Workload::tcpip(n).unwrap();
     let thresholds: Vec<u32> = (0..4)
-        .map(|c| threshold_for_ge(&w.dataset.columns[c].values, 0.6).unwrap().0)
+        .map(|c| {
+            threshold_for_ge(&w.dataset.columns[c].values, 0.6)
+                .unwrap()
+                .0
+        })
         .collect();
     for attrs in 1..=4usize {
         let cnf = GpuCnf::all_of(

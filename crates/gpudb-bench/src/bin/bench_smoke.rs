@@ -1,0 +1,153 @@
+//! `bench-smoke` — deterministic perf-regression gate.
+//!
+//! Runs reduced-scale fixed-seed versions of the paper's figure
+//! experiments, writes `BENCH_smoke.json` (modeled costs + exact result
+//! checksums + per-operator metrics), prints a summary table, and — when
+//! a baseline exists — fails with a readable diff on any cost regression
+//! beyond tolerance or any checksum change.
+//!
+//! ```text
+//! bench-smoke [--out PATH] [--baseline PATH] [--tolerance FRACTION]
+//!             [--bless] [--no-gate]
+//! ```
+
+use gpudb_bench::regress::{self, DEFAULT_TOLERANCE};
+use gpudb_bench::smoke::{self, SmokeReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    out: PathBuf,
+    baseline: PathBuf,
+    tolerance: f64,
+    bless: bool,
+    gate: bool,
+}
+
+fn default_baseline() -> PathBuf {
+    // Resolve relative to the crate so the gate works from any cwd.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results/baselines/smoke.json")
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("BENCH_smoke.json"),
+        baseline: default_baseline(),
+        tolerance: DEFAULT_TOLERANCE,
+        bless: false,
+        gate: true,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                args.tolerance = raw
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --tolerance {raw:?}: {e}"))?;
+                if !(args.tolerance >= 0.0 && args.tolerance.is_finite()) {
+                    return Err(format!(
+                        "--tolerance must be a finite non-negative fraction, got {raw}"
+                    ));
+                }
+            }
+            "--bless" => args.bless = true,
+            "--no-gate" => args.gate = false,
+            "--help" | "-h" => {
+                println!(
+                    "bench-smoke [--out PATH] [--baseline PATH] [--tolerance FRACTION] \
+                     [--bless] [--no-gate]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}; see --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_baseline(path: &PathBuf) -> Result<Option<SmokeReport>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| format!("unreadable baseline {}: {e:?}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read baseline {}: {e}", path.display())),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let report = smoke::run_all().map_err(|e| format!("smoke run failed: {e}"))?;
+    let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out.display()))?;
+    println!("wrote {}", args.out.display());
+
+    if args.bless {
+        if let Some(dir) = args.baseline.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&args.baseline, &json)
+            .map_err(|e| format!("write {}: {e}", args.baseline.display()))?;
+        println!("blessed baseline {}", args.baseline.display());
+        print!("{}", smoke::summary_table(&report, None));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = load_baseline(&args.baseline)?;
+    print!("{}", smoke::summary_table(&report, baseline.as_ref()));
+
+    let Some(baseline) = baseline else {
+        println!(
+            "no baseline at {} — run with --bless to create one",
+            args.baseline.display()
+        );
+        // A missing baseline fails the gate: CI must never silently skip
+        // the comparison.
+        return Ok(if args.gate {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        });
+    };
+
+    let comparison = regress::compare(&baseline, &report, args.tolerance);
+    let rendered = comparison.render();
+    if !rendered.is_empty() {
+        println!("{rendered}");
+    }
+    if comparison.passed() {
+        println!(
+            "gate PASSED ({} experiments, tolerance {:.1}%)",
+            report.experiments.len(),
+            args.tolerance * 100.0
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "gate FAILED: {} fatal issue(s); if intentional, refresh with --bless",
+            comparison.fatal().len()
+        );
+        Ok(if args.gate {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        })
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("bench-smoke: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

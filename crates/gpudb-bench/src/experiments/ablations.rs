@@ -22,11 +22,7 @@ pub fn mipmap(scale: Scale) -> EngineResult<FigureResult> {
     let mut worst_error = 0.0f64;
     for records in scale.sweep() {
         let mut w = Workload::tcpip(records)?;
-        let exact: u64 = w.dataset.columns[0]
-            .values
-            .iter()
-            .map(|&v| v as u64)
-            .sum();
+        let exact: u64 = w.dataset.columns[0].values.iter().map(|&v| v as u64).sum();
 
         let (bitwise, acc_timing) = w.time(|gpu, table| sum(gpu, table, 0, None).unwrap());
         assert_eq!(bitwise, exact, "the Accumulator must be exact");
@@ -189,11 +185,8 @@ pub fn early_z(scale: Scale) -> EngineResult<FigureResult> {
             .map_err(gpudb_core::EngineError::from)?;
         gpu.set_depth_test(true, CompareFunc::Greater);
         gpu.set_depth_write(false);
-        gpu.draw_quad(
-            table.rects(),
-            gpudb_core::ops::encode_depth(median_value),
-        )
-        .map_err(gpudb_core::EngineError::from)?;
+        gpu.draw_quad(table.rects(), gpudb_core::ops::encode_depth(median_value))
+            .map_err(gpudb_core::EngineError::from)?;
         let shaded = gpu.stats().fragments_shaded;
         let ms = gpu.stats().modeled_total() * 1e3;
         gpu.bind_program(None);
@@ -319,7 +312,10 @@ pub fn data_independence(scale: Scale) -> EngineResult<FigureResult> {
     let mut gpu_times = Vec::new();
     let mut cpu_times = Vec::new();
 
-    for (i, values) in [&uniform, &sorted, &reversed, &organ].into_iter().enumerate() {
+    for (i, values) in [&uniform, &sorted, &reversed, &organ]
+        .into_iter()
+        .enumerate()
+    {
         let width = GRID_WIDTH.min(records.max(1));
         let height = records.div_ceil(width).max(1);
         let mut gpu = gpudb_sim::Gpu::geforce_fx_5900(width, height);

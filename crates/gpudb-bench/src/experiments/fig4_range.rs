@@ -26,8 +26,7 @@ pub fn run(scale: Scale) -> EngineResult<FigureResult> {
 
         let ((_, count), timing) =
             w.time(|gpu, table| range_select(gpu, table, 0, low, high).unwrap());
-        let (bm, cpu_secs) =
-            wall_seconds(3, || gpudb_cpu::cnf::eval_range(&values, low, high));
+        let (bm, cpu_secs) = wall_seconds(3, || gpudb_cpu::cnf::eval_range(&values, low, high));
         assert_eq!(bm.count_ones() as u64, count, "GPU/CPU result mismatch");
 
         gpu_total.push(records as f64, timing.total() * 1e3);

@@ -19,7 +19,11 @@ pub fn run(scale: Scale) -> EngineResult<FigureResult> {
     let mut w = Workload::tcpip(records)?;
     // Per-attribute thresholds at 60% selectivity.
     let thresholds: Vec<u32> = (0..4)
-        .map(|c| threshold_for_ge(&w.dataset.columns[c].values, 0.6).expect("non-empty").0)
+        .map(|c| {
+            threshold_for_ge(&w.dataset.columns[c].values, 0.6)
+                .expect("non-empty")
+                .0
+        })
         .collect();
     let host: Vec<Vec<u32>> = w.dataset.columns.iter().map(|c| c.values.clone()).collect();
 
@@ -33,8 +37,7 @@ pub fn run(scale: Scale) -> EngineResult<FigureResult> {
             .map(|c| GpuPredicate::new(c, CompareFunc::GreaterEqual, thresholds[c]))
             .collect();
         let cnf = GpuCnf::all_of(preds);
-        let ((_, count), timing) =
-            w.time(|gpu, table| eval_cnf_select(gpu, table, &cnf).unwrap());
+        let ((_, count), timing) = w.time(|gpu, table| eval_cnf_select(gpu, table, &cnf).unwrap());
 
         let cpu_cnf = gpudb_cpu::Cnf::all_of(
             (0..attrs)

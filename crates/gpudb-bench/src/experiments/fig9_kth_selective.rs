@@ -31,8 +31,9 @@ pub fn run(scale: Scale) -> EngineResult<FigureResult> {
         // and we measure only the order-statistic computation).
         let (selection, selected_count) = {
             let table = &w.table;
-            let (sel, count) = compare_select(&mut w.gpu, table, 0, CompareFunc::GreaterEqual, threshold)
-                .map(|(s, c)| (s, c as usize))?;
+            let (sel, count) =
+                compare_select(&mut w.gpu, table, 0, CompareFunc::GreaterEqual, threshold)
+                    .map(|(s, c)| (s, c as usize))?;
             (sel, count)
         };
 
@@ -45,10 +46,8 @@ pub fn run(scale: Scale) -> EngineResult<FigureResult> {
         let ((cpu_value, stats, extracted), cpu_secs) = wall_seconds(3, || {
             let extracted = gpudb_cpu::aggregate::extract_masked(&values, &mask);
             let k_smallest = extracted.len().div_ceil(2);
-            let (v, stats) = quickselect::kth_largest_instrumented(
-                &extracted,
-                extracted.len() + 1 - k_smallest,
-            );
+            let (v, stats) =
+                quickselect::kth_largest_instrumented(&extracted, extracted.len() + 1 - k_smallest);
             (v, stats, extracted.len())
         });
         assert_eq!(extracted, selected_count);

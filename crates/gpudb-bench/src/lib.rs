@@ -11,6 +11,9 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod regress;
 pub mod report;
+pub mod smoke;
 
 pub use report::{FigureResult, Scale, Series};
+pub use smoke::{SmokeExperiment, SmokeReport};

@@ -1,0 +1,385 @@
+//! Baseline comparison for the perf-regression gate.
+//!
+//! Compares a freshly produced [`SmokeReport`] against the checked-in
+//! baseline and reports every discrepancy:
+//!
+//! * **checksum changes are always fatal** — the operators' exact results
+//!   moved, which is a correctness change, never noise;
+//! * **modeled-cost regressions** beyond the relative tolerance fail the
+//!   gate (the modeled cost is deterministic, so the tolerance only
+//!   absorbs intentional small cost-model adjustments, not jitter);
+//! * missing/new experiments and schema drift are flagged so baselines
+//!   can't silently rot.
+//!
+//! Cost *improvements* beyond tolerance are reported as notes, not
+//! failures — but should be blessed into the baseline so the gate keeps
+//! a tight bound.
+
+use crate::smoke::{SmokeExperiment, SmokeReport};
+use serde::{Deserialize, Serialize};
+
+/// Default relative tolerance on modeled cost (0.02 = 2 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// One discrepancy between the current report and the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Issue {
+    /// Schema versions differ; the comparison is not meaningful.
+    SchemaMismatch {
+        /// Baseline schema version.
+        baseline: u32,
+        /// Current schema version.
+        current: u32,
+    },
+    /// The workload (seed or record count) differs from the baseline's.
+    WorkloadMismatch {
+        /// Description of what differs.
+        detail: String,
+    },
+    /// An experiment exists in the baseline but was not run.
+    MissingExperiment {
+        /// Experiment id.
+        id: String,
+    },
+    /// An experiment was run but has no baseline entry yet.
+    NewExperiment {
+        /// Experiment id.
+        id: String,
+    },
+    /// Modeled cost grew beyond tolerance.
+    CostRegression {
+        /// Experiment id.
+        id: String,
+        /// Baseline modeled cost, ns.
+        baseline_ns: u64,
+        /// Current modeled cost, ns.
+        current_ns: u64,
+        /// Relative growth (`current/baseline - 1`).
+        ratio: f64,
+    },
+    /// Modeled cost shrank beyond tolerance (informational).
+    CostImprovement {
+        /// Experiment id.
+        id: String,
+        /// Baseline modeled cost, ns.
+        baseline_ns: u64,
+        /// Current modeled cost, ns.
+        current_ns: u64,
+        /// Relative change (`current/baseline - 1`, negative).
+        ratio: f64,
+    },
+    /// The exact-result checksum changed.
+    ChecksumMismatch {
+        /// Experiment id.
+        id: String,
+        /// Baseline checksum.
+        baseline: String,
+        /// Current checksum.
+        current: String,
+    },
+}
+
+impl Issue {
+    /// Whether this issue fails the gate (vs. informational).
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, Issue::CostImprovement { .. })
+    }
+
+    /// One-line human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Issue::SchemaMismatch { baseline, current } => format!(
+                "schema mismatch: baseline v{baseline}, current v{current} — regenerate the \
+                 baseline with --bless"
+            ),
+            Issue::WorkloadMismatch { detail } => format!("workload mismatch: {detail}"),
+            Issue::MissingExperiment { id } => {
+                format!("{id}: in baseline but not in this run")
+            }
+            Issue::NewExperiment { id } => {
+                format!("{id}: no baseline entry — add one with --bless")
+            }
+            Issue::CostRegression {
+                id,
+                baseline_ns,
+                current_ns,
+                ratio,
+            } => format!(
+                "{id}: modeled cost regressed {:+.2}% ({:.3} ms -> {:.3} ms)",
+                ratio * 100.0,
+                *baseline_ns as f64 / 1e6,
+                *current_ns as f64 / 1e6
+            ),
+            Issue::CostImprovement {
+                id,
+                baseline_ns,
+                current_ns,
+                ratio,
+            } => format!(
+                "{id}: modeled cost improved {:+.2}% ({:.3} ms -> {:.3} ms) — consider \
+                 re-blessing the baseline",
+                ratio * 100.0,
+                *baseline_ns as f64 / 1e6,
+                *current_ns as f64 / 1e6
+            ),
+            Issue::ChecksumMismatch {
+                id,
+                baseline,
+                current,
+            } => format!(
+                "{id}: result checksum changed ({baseline} -> {current}) — operator results \
+                 are different, this is a correctness change"
+            ),
+        }
+    }
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    /// Every discrepancy found, in report order.
+    pub issues: Vec<Issue>,
+}
+
+impl Comparison {
+    /// Whether the gate passes (no fatal issues).
+    pub fn passed(&self) -> bool {
+        !self.issues.iter().any(Issue::is_fatal)
+    }
+
+    /// The fatal issues only.
+    pub fn fatal(&self) -> Vec<&Issue> {
+        self.issues.iter().filter(|i| i.is_fatal()).collect()
+    }
+
+    /// Multi-line report of every issue (empty string when clean).
+    pub fn render(&self) -> String {
+        self.issues
+            .iter()
+            .map(|i| {
+                let tag = if i.is_fatal() { "FAIL" } else { "note" };
+                format!("{tag}: {}", i.describe())
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn compare_experiment(
+    baseline: &SmokeExperiment,
+    current: &SmokeExperiment,
+    tolerance: f64,
+    issues: &mut Vec<Issue>,
+) {
+    if baseline.checksum != current.checksum {
+        issues.push(Issue::ChecksumMismatch {
+            id: current.id.clone(),
+            baseline: baseline.checksum.clone(),
+            current: current.checksum.clone(),
+        });
+    }
+    if baseline.modeled_ns == 0 {
+        // Degenerate baseline: any nonzero cost counts as a regression.
+        if current.modeled_ns > 0 {
+            issues.push(Issue::CostRegression {
+                id: current.id.clone(),
+                baseline_ns: 0,
+                current_ns: current.modeled_ns,
+                ratio: f64::INFINITY,
+            });
+        }
+        return;
+    }
+    // The bound is inclusive (growth of exactly `tolerance` fails), but
+    // only actual movement counts: equal costs always pass, even at
+    // tolerance zero.
+    let ratio = current.modeled_ns as f64 / baseline.modeled_ns as f64 - 1.0;
+    if current.modeled_ns > baseline.modeled_ns && ratio >= tolerance {
+        issues.push(Issue::CostRegression {
+            id: current.id.clone(),
+            baseline_ns: baseline.modeled_ns,
+            current_ns: current.modeled_ns,
+            ratio,
+        });
+    } else if current.modeled_ns < baseline.modeled_ns && ratio <= -tolerance {
+        issues.push(Issue::CostImprovement {
+            id: current.id.clone(),
+            baseline_ns: baseline.modeled_ns,
+            current_ns: current.modeled_ns,
+            ratio,
+        });
+    }
+}
+
+/// Compare `current` against `baseline` with the given relative cost
+/// tolerance.
+pub fn compare(baseline: &SmokeReport, current: &SmokeReport, tolerance: f64) -> Comparison {
+    assert!(
+        tolerance >= 0.0 && tolerance.is_finite(),
+        "tolerance must be a finite non-negative fraction, got {tolerance}"
+    );
+    let mut issues = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        issues.push(Issue::SchemaMismatch {
+            baseline: baseline.schema_version,
+            current: current.schema_version,
+        });
+        return Comparison { issues };
+    }
+    if baseline.seed != current.seed || baseline.records != current.records {
+        issues.push(Issue::WorkloadMismatch {
+            detail: format!(
+                "baseline seed {}/records {}, current seed {}/records {}",
+                baseline.seed, baseline.records, current.seed, current.records
+            ),
+        });
+        return Comparison { issues };
+    }
+    for base_exp in &baseline.experiments {
+        match current.experiments.iter().find(|e| e.id == base_exp.id) {
+            Some(cur_exp) => compare_experiment(base_exp, cur_exp, tolerance, &mut issues),
+            None => issues.push(Issue::MissingExperiment {
+                id: base_exp.id.clone(),
+            }),
+        }
+    }
+    for cur_exp in &current.experiments {
+        if !baseline.experiments.iter().any(|e| e.id == cur_exp.id) {
+            issues.push(Issue::NewExperiment {
+                id: cur_exp.id.clone(),
+            });
+        }
+    }
+    Comparison { issues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoke::SCHEMA_VERSION;
+
+    fn experiment(id: &str, modeled_ns: u64, checksum: &str) -> SmokeExperiment {
+        SmokeExperiment {
+            id: id.into(),
+            input_records: 100,
+            modeled_ns,
+            checksum: checksum.into(),
+            metrics: vec![],
+        }
+    }
+
+    fn report(experiments: Vec<SmokeExperiment>) -> SmokeReport {
+        SmokeReport {
+            schema_version: SCHEMA_VERSION,
+            seed: 7,
+            records: 100,
+            experiments,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![
+            experiment("a", 1_000_000, "aa"),
+            experiment("b", 5, "bb"),
+        ]);
+        let cmp = compare(&r, &r.clone(), DEFAULT_TOLERANCE);
+        assert!(cmp.passed());
+        assert!(cmp.issues.is_empty());
+        assert_eq!(cmp.render(), "");
+    }
+
+    #[test]
+    fn regression_just_under_tolerance_passes() {
+        let base = report(vec![experiment("a", 1_000_000, "aa")]);
+        // +1.9999% with 2% tolerance: passes.
+        let cur = report(vec![experiment("a", 1_019_999, "aa")]);
+        assert!(compare(&base, &cur, 0.02).passed());
+    }
+
+    #[test]
+    fn regression_at_tolerance_fails() {
+        let base = report(vec![experiment("a", 1_000_000, "aa")]);
+        // Exactly +2% with 2% tolerance: the bound is inclusive, fails.
+        let cur = report(vec![experiment("a", 1_020_000, "aa")]);
+        let cmp = compare(&base, &cur, 0.02);
+        assert!(!cmp.passed());
+        assert!(matches!(cmp.issues[0], Issue::CostRegression { .. }));
+        assert!(cmp.render().contains("regressed"));
+    }
+
+    #[test]
+    fn zero_tolerance_fails_any_growth() {
+        let base = report(vec![experiment("a", 1_000_000, "aa")]);
+        let cur = report(vec![experiment("a", 1_000_001, "aa")]);
+        assert!(!compare(&base, &cur, 0.0).passed());
+        assert!(compare(&base, &base.clone(), 0.0).passed());
+    }
+
+    #[test]
+    fn improvement_is_note_not_failure() {
+        let base = report(vec![experiment("a", 1_000_000, "aa")]);
+        let cur = report(vec![experiment("a", 500_000, "aa")]);
+        let cmp = compare(&base, &cur, 0.02);
+        assert!(cmp.passed());
+        assert_eq!(cmp.issues.len(), 1);
+        assert!(matches!(cmp.issues[0], Issue::CostImprovement { .. }));
+        assert!(cmp.fatal().is_empty());
+        assert!(cmp.render().contains("note"));
+    }
+
+    #[test]
+    fn checksum_change_always_fails_even_when_faster() {
+        let base = report(vec![experiment("a", 1_000_000, "aa")]);
+        let cur = report(vec![experiment("a", 900_000, "XX")]);
+        let cmp = compare(&base, &cur, 0.5);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::ChecksumMismatch { .. })));
+        assert!(cmp.render().contains("correctness"));
+    }
+
+    #[test]
+    fn missing_and_new_experiments_flagged() {
+        let base = report(vec![experiment("a", 10, "aa"), experiment("b", 10, "bb")]);
+        let cur = report(vec![experiment("b", 10, "bb"), experiment("c", 10, "cc")]);
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert!(!cmp.passed());
+        assert!(cmp
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::MissingExperiment { id } if id == "a")));
+        assert!(cmp
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::NewExperiment { id } if id == "c")));
+    }
+
+    #[test]
+    fn schema_and_workload_mismatch_short_circuit() {
+        let base = report(vec![experiment("a", 10, "aa")]);
+        let mut cur = base.clone();
+        cur.schema_version += 1;
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.issues.len(), 1);
+        assert!(matches!(cmp.issues[0], Issue::SchemaMismatch { .. }));
+
+        let mut cur = base.clone();
+        cur.seed = 8;
+        let cmp = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.issues.len(), 1);
+        assert!(matches!(cmp.issues[0], Issue::WorkloadMismatch { .. }));
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn zero_baseline_cost_regresses_on_any_cost() {
+        let base = report(vec![experiment("a", 0, "aa")]);
+        let cur = report(vec![experiment("a", 1, "aa")]);
+        assert!(!compare(&base, &cur, DEFAULT_TOLERANCE).passed());
+        let cur = report(vec![experiment("a", 0, "aa")]);
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).passed());
+    }
+}

@@ -102,7 +102,11 @@ impl FigureResult {
         let _ = writeln!(
             out,
             "shape:    {}",
-            if self.shape_holds { "HOLDS" } else { "DIVERGES" }
+            if self.shape_holds {
+                "HOLDS"
+            } else {
+                "DIVERGES"
+            }
         );
 
         // Collect the x values (assume shared across series; pad otherwise).
@@ -125,11 +129,7 @@ impl FigureResult {
         for &x in &xs {
             let _ = write!(out, "{x:>12.0}");
             for s in &self.series {
-                match s
-                    .points
-                    .iter()
-                    .find(|&&(px, _)| (px - x).abs() < 1e-9)
-                {
+                match s.points.iter().find(|&&(px, _)| (px - x).abs() < 1e-9) {
                     Some(&(_, y)) => {
                         let _ = write!(out, " | {y:>23.3} ms");
                     }

@@ -1,0 +1,435 @@
+//! Reduced-scale, fixed-seed smoke versions of the paper's figure
+//! experiments, for the perf-regression gate.
+//!
+//! Each smoke experiment runs one operator family over the deterministic
+//! TCP/IP workload and produces: the total **modeled** cost (the 2004
+//! cost model, a pure function of the input), the per-operator
+//! [`MetricsRecord`]s, and an FNV-1a checksum folding every exact result
+//! value. Nothing here depends on wall-clock, so two runs of
+//! [`run_all`] produce byte-identical [`SmokeReport`]s — CI diffs them
+//! against a checked-in baseline (`gpudb-bench/results/baselines/`).
+
+use crate::harness::Workload;
+use gpudb_core::metrics::{ops, MetricsRecord};
+use gpudb_core::query::{execute, Aggregate, BoolExpr, Query};
+use gpudb_core::{EngineResult, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+use gpudb_sim::CompareFunc;
+use serde::{Deserialize, Serialize};
+
+/// Record count for smoke workloads — small enough that the whole suite
+/// runs in seconds, large enough that costs are not dominated by
+/// per-pass constants.
+pub const SMOKE_RECORDS: usize = 4_000;
+
+/// Bump when the report layout or experiment set changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a 64 accumulator for exact result values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Checksum {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold in one 64-bit value (little-endian bytes).
+    pub fn push_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Fold in one 32-bit value.
+    pub fn push_u32(&mut self, value: u32) {
+        self.push_u64(u64::from(value));
+    }
+
+    /// Fold in an f64 by its exact bit pattern.
+    pub fn push_f64(&mut self, value: f64) {
+        self.push_u64(value.to_bits());
+    }
+
+    /// Render as a fixed-width hex string (diff-friendly in JSON).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Checksum {
+        Checksum::new()
+    }
+}
+
+/// One smoke experiment's deterministic outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmokeExperiment {
+    /// Experiment id, e.g. `fig3_predicate`.
+    pub id: String,
+    /// Records in the workload.
+    pub input_records: u64,
+    /// Total modeled cost across the experiment's operations, in ns.
+    pub modeled_ns: u64,
+    /// FNV-1a 64 over every exact result value, as fixed-width hex.
+    pub checksum: String,
+    /// Per-operation metrics records, in execution order.
+    pub metrics: Vec<MetricsRecord>,
+}
+
+/// The full bench-smoke output (`BENCH_smoke.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmokeReport {
+    /// Report layout version.
+    pub schema_version: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload record count.
+    pub records: u64,
+    /// All experiments, in fixed order.
+    pub experiments: Vec<SmokeExperiment>,
+}
+
+/// Ids of all smoke experiments, in run order.
+pub const SMOKE_EXPERIMENTS: [&str; 10] = [
+    "fig2_copy",
+    "fig3_predicate",
+    "fig4_range",
+    "fig5_multiattr_cnf",
+    "fig6_semilinear",
+    "fig7_kth",
+    "fig8_median",
+    "fig9_kth_selective",
+    "fig10_accumulator",
+    "query_executor",
+];
+
+struct Outcome {
+    checksum: Checksum,
+    metrics: Vec<MetricsRecord>,
+}
+
+impl Outcome {
+    fn new() -> Outcome {
+        Outcome {
+            checksum: Checksum::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    fn record<T>(&mut self, (value, record): (T, MetricsRecord)) -> T {
+        self.metrics.push(record);
+        value
+    }
+}
+
+/// Run every smoke experiment and assemble the report.
+pub fn run_all() -> EngineResult<SmokeReport> {
+    let mut experiments = Vec::with_capacity(SMOKE_EXPERIMENTS.len());
+    for id in SMOKE_EXPERIMENTS {
+        experiments.push(run_one(id)?);
+    }
+    Ok(SmokeReport {
+        schema_version: SCHEMA_VERSION,
+        seed: crate::harness::SEED,
+        records: SMOKE_RECORDS as u64,
+        experiments,
+    })
+}
+
+/// Run a single smoke experiment by id.
+pub fn run_one(id: &str) -> EngineResult<SmokeExperiment> {
+    let mut w = Workload::tcpip(SMOKE_RECORDS)?;
+    let mut out = Outcome::new();
+    match id {
+        "fig2_copy" => copy(&mut w, &mut out)?,
+        "fig3_predicate" => predicate(&mut w, &mut out)?,
+        "fig4_range" => range(&mut w, &mut out)?,
+        "fig5_multiattr_cnf" => multiattr(&mut w, &mut out)?,
+        "fig6_semilinear" => semilinear(&mut w, &mut out)?,
+        "fig7_kth" => kth(&mut w, &mut out)?,
+        "fig8_median" => median(&mut w, &mut out)?,
+        "fig9_kth_selective" => kth_selective(&mut w, &mut out)?,
+        "fig10_accumulator" => accumulator(&mut w, &mut out)?,
+        "query_executor" => query_executor(&mut w, &mut out)?,
+        other => {
+            return Err(gpudb_core::EngineError::InvalidQuery(format!(
+                "unknown smoke experiment {other:?}; known: {SMOKE_EXPERIMENTS:?}"
+            )))
+        }
+    }
+    Ok(SmokeExperiment {
+        id: id.to_string(),
+        input_records: SMOKE_RECORDS as u64,
+        modeled_ns: out
+            .metrics
+            .iter()
+            .map(MetricsRecord::modeled_total_ns)
+            .sum(),
+        checksum: out.checksum.hex(),
+        metrics: out.metrics,
+    })
+}
+
+/// Figure 2: `CopyToDepth` of each attribute. The copy has no
+/// host-visible result, so the checksum folds the column contents —
+/// pinning the data generator as well as the copy cost.
+fn copy(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    for column in 0..w.table.column_count() {
+        for &v in w.dataset.columns[column].values.iter() {
+            out.checksum.push_u32(v);
+        }
+        out.record(ops::copy_to_depth_op(&mut w.gpu, &w.table, column)?);
+    }
+    Ok(())
+}
+
+/// Figure 3: single-predicate counts at a sweep of constants.
+fn predicate(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let max = (1u32 << 19) - 1;
+    for op in [CompareFunc::Less, CompareFunc::GreaterEqual] {
+        for tenth in [1u32, 3, 5, 7, 9] {
+            let constant = max / 10 * tenth;
+            let count = out.record(ops::predicate_count(&mut w.gpu, &w.table, 0, op, constant)?);
+            out.checksum.push_u64(count);
+        }
+    }
+    Ok(())
+}
+
+/// Figure 4: depth-bounds range counts at several selectivities.
+fn range(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let max = (1u32 << 19) - 1;
+    for (lo_tenth, hi_tenth) in [(1u32, 2u32), (2, 5), (1, 8), (4, 6)] {
+        let low = max / 10 * lo_tenth;
+        let high = max / 10 * hi_tenth;
+        let count = out.record(ops::range_count_op(&mut w.gpu, &w.table, 0, low, high)?);
+        out.checksum.push_u64(count);
+    }
+    Ok(())
+}
+
+/// Figure 5: conjunctions over 1–4 attributes (CNF), plus a DNF.
+fn multiattr(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let preds = [
+        GpuPredicate::new(0, CompareFunc::GreaterEqual, 20_000),
+        GpuPredicate::new(1, CompareFunc::Less, 500),
+        GpuPredicate::new(2, CompareFunc::Greater, 2_000),
+        GpuPredicate::new(3, CompareFunc::LessEqual, 8),
+    ];
+    for k in 1..=preds.len() {
+        let cnf = GpuCnf::all_of(preds[..k].to_vec());
+        let count = out.record(ops::cnf_count(&mut w.gpu, &w.table, &cnf)?);
+        out.checksum.push_u64(count);
+    }
+    let dnf = GpuDnf::new(vec![
+        GpuTerm::all(vec![preds[0], preds[1]]),
+        GpuTerm::single(GpuPredicate::new(2, CompareFunc::Greater, 50_000)),
+    ]);
+    let count = out.record(ops::dnf_count(&mut w.gpu, &w.table, &dnf)?);
+    out.checksum.push_u64(count);
+    Ok(())
+}
+
+/// Figure 6: semi-linear dot-product queries over all four attributes.
+fn semilinear(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let cases: [(&[f32], CompareFunc, f32); 3] = [
+        (&[1.0, -1.0, 0.0, 0.0], CompareFunc::Greater, 10_000.0),
+        (&[0.5, 0.0, 1.0, 0.0], CompareFunc::LessEqual, 30_000.0),
+        (&[1.0, 1.0, 1.0, 1.0], CompareFunc::GreaterEqual, 60_000.0),
+    ];
+    for (coefficients, op, constant) in cases {
+        let count = out.record(ops::semilinear_count_op(
+            &mut w.gpu,
+            &w.table,
+            coefficients,
+            op,
+            constant,
+        )?);
+        out.checksum.push_u64(count);
+    }
+    Ok(())
+}
+
+/// Figure 7: k-th largest at a sweep of k.
+fn kth(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    for k in [1usize, 10, 100, SMOKE_RECORDS / 2] {
+        let value = out.record(ops::kth_largest_op(&mut w.gpu, &w.table, 0, k, None)?);
+        out.checksum.push_u32(value);
+    }
+    Ok(())
+}
+
+/// Figure 8: median of every attribute.
+fn median(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    for column in 0..w.table.column_count() {
+        let value = out.record(ops::median_op(&mut w.gpu, &w.table, column, None)?);
+        out.checksum.push_u32(value);
+    }
+    Ok(())
+}
+
+/// Figure 9: k-th largest within a range selection.
+fn kth_selective(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let max = (1u32 << 19) - 1;
+    let (sel_result, sel_record) = gpudb_core::metrics::observe(
+        &mut w.gpu,
+        "range/range_select",
+        SMOKE_RECORDS as u64,
+        |gpu| gpudb_core::range::range_select(gpu, &w.table, 0, max / 10, max / 2),
+    );
+    let (selection, matched) = sel_result?;
+    out.metrics.push(sel_record);
+    out.checksum.push_u64(matched);
+    for k in [1usize, 25] {
+        let value = out.record(ops::kth_largest_op(
+            &mut w.gpu,
+            &w.table,
+            0,
+            k,
+            Some(&selection),
+        )?);
+        out.checksum.push_u32(value);
+    }
+    Ok(())
+}
+
+/// Figure 10: bitwise-accumulator SUM and AVG.
+fn accumulator(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    for column in [0usize, 2] {
+        let sum = out.record(ops::accumulator_sum(&mut w.gpu, &w.table, column, None)?);
+        out.checksum.push_u64(sum);
+    }
+    Ok(())
+}
+
+/// End-to-end planner + executor over a filtered multi-aggregate query.
+fn query_executor(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let query = Query::filtered(
+        vec![
+            Aggregate::Count,
+            Aggregate::Sum("data_count".into()),
+            Aggregate::Max("flow_rate".into()),
+            Aggregate::Median("data_count".into()),
+        ],
+        BoolExpr::Between {
+            column: "data_count".into(),
+            low: 10_000,
+            high: 400_000,
+        },
+    );
+    let result = execute(&mut w.gpu, &w.table, &query)?;
+    out.checksum.push_u64(result.matched);
+    for (label, value) in &result.rows {
+        for b in label.bytes() {
+            out.checksum.push_u64(u64::from(b));
+        }
+        match value {
+            gpudb_core::query::AggValue::Count(v) | gpudb_core::query::AggValue::Sum(v) => {
+                out.checksum.push_u64(*v)
+            }
+            gpudb_core::query::AggValue::Avg(v) => out.checksum.push_f64(*v),
+            gpudb_core::query::AggValue::Value(v) => out.checksum.push_u32(*v),
+        }
+    }
+    out.metrics.extend(result.metrics);
+    Ok(())
+}
+
+/// Render the one-line-per-experiment summary table, with the delta
+/// against an optional baseline report.
+pub fn summary_table(report: &SmokeReport, baseline: Option<&SmokeReport>) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>10}  checksum",
+        "experiment", "modeled ms", "Δ vs base", "ops"
+    );
+    for exp in &report.experiments {
+        let ms = exp.modeled_ns as f64 / 1e6;
+        let base = baseline.and_then(|b| b.experiments.iter().find(|e| e.id == exp.id));
+        let delta = match base {
+            Some(b) if b.modeled_ns > 0 => {
+                let pct = (exp.modeled_ns as f64 / b.modeled_ns as f64 - 1.0) * 100.0;
+                format!("{pct:+.2}%")
+            }
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12.3} {:>12} {:>10}  {}",
+            exp.id,
+            ms,
+            delta,
+            exp.metrics.len(),
+            exp.checksum
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_order_sensitive_and_stable() {
+        let mut a = Checksum::new();
+        a.push_u64(1);
+        a.push_u64(2);
+        let mut b = Checksum::new();
+        b.push_u64(2);
+        b.push_u64(1);
+        assert_ne!(a.hex(), b.hex());
+        assert_eq!(a.hex().len(), 16);
+
+        let mut c = Checksum::new();
+        c.push_u64(1);
+        c.push_u64(2);
+        assert_eq!(a.hex(), c.hex());
+    }
+
+    #[test]
+    fn single_experiment_is_deterministic() {
+        let a = run_one("fig4_range").unwrap();
+        let b = run_one("fig4_range").unwrap();
+        assert_eq!(a, b);
+        assert!(a.modeled_ns > 0);
+        assert!(!a.metrics.is_empty());
+        let json_a = serde_json::to_string_pretty(&a).unwrap();
+        let json_b = serde_json::to_string_pretty(&b).unwrap();
+        assert_eq!(json_a, json_b);
+    }
+
+    #[test]
+    fn unknown_experiment_rejected() {
+        assert!(run_one("nope").is_err());
+    }
+
+    #[test]
+    fn summary_table_lists_every_experiment() {
+        let report = SmokeReport {
+            schema_version: SCHEMA_VERSION,
+            seed: 1,
+            records: 10,
+            experiments: vec![SmokeExperiment {
+                id: "fig3_predicate".into(),
+                input_records: 10,
+                modeled_ns: 2_000_000,
+                checksum: "00ff".into(),
+                metrics: vec![],
+            }],
+        };
+        let mut base = report.clone();
+        base.experiments[0].modeled_ns = 1_000_000;
+        let text = summary_table(&report, Some(&base));
+        assert!(text.contains("fig3_predicate"));
+        assert!(text.contains("+100.00%"));
+        assert!(text.contains("2.000"));
+        let text = summary_table(&report, None);
+        assert!(text.contains('-'));
+    }
+}

@@ -135,7 +135,9 @@ mod tests {
 
     #[test]
     fn sum_matches_reference() {
-        let values: Vec<u32> = (0..300u32).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
+        let values: Vec<u32> = (0..300u32)
+            .map(|i| i.wrapping_mul(2654435761) % 100_000)
+            .collect();
         let expected: u64 = values.iter().map(|&v| v as u64).sum();
         let (mut gpu, t) = setup(&values);
         assert_eq!(sum(&mut gpu, &t, 0, None).unwrap(), expected);
@@ -234,15 +236,17 @@ mod tests {
     #[test]
     fn depth_mask_sum_matches_standard_accumulator() {
         use gpudb_sim::HardwareProfile;
-        let values: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2654435761) % (1 << 19)).collect();
+        let values: Vec<u32> = (0..500u32)
+            .map(|i| i.wrapping_mul(2654435761) % (1 << 19))
+            .collect();
         let expected: u64 = values.iter().map(|&v| v as u64).sum();
-        let mut gpu = gpudb_sim::Gpu::new(
-            HardwareProfile::geforce_fx_5900_with_depth_mask(),
-            25,
-            20,
-        );
+        let mut gpu =
+            gpudb_sim::Gpu::new(HardwareProfile::geforce_fx_5900_with_depth_mask(), 25, 20);
         let t = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap();
-        assert_eq!(sum_with_depth_mask(&mut gpu, &t, 0, None).unwrap(), expected);
+        assert_eq!(
+            sum_with_depth_mask(&mut gpu, &t, 0, None).unwrap(),
+            expected
+        );
         assert_eq!(sum(&mut gpu, &t, 0, None).unwrap(), expected);
     }
 
@@ -253,11 +257,8 @@ mod tests {
         // overhead (at tiny sizes the masked variant's extra copy pass
         // costs more than the shading it saves).
         let values: Vec<u32> = (1..=20_000u32).map(|v| v % 256).collect(); // 8 bits
-        let mut gpu = gpudb_sim::Gpu::new(
-            HardwareProfile::geforce_fx_5900_with_depth_mask(),
-            200,
-            100,
-        );
+        let mut gpu =
+            gpudb_sim::Gpu::new(HardwareProfile::geforce_fx_5900_with_depth_mask(), 200, 100);
         let t = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap();
 
         gpu.reset_stats();
@@ -281,11 +282,8 @@ mod tests {
     fn depth_mask_sum_respects_selection() {
         use gpudb_sim::HardwareProfile;
         let values: Vec<u32> = (0..100).collect();
-        let mut gpu = gpudb_sim::Gpu::new(
-            HardwareProfile::geforce_fx_5900_with_depth_mask(),
-            10,
-            10,
-        );
+        let mut gpu =
+            gpudb_sim::Gpu::new(HardwareProfile::geforce_fx_5900_with_depth_mask(), 10, 10);
         let t = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap();
         let (sel, _) = compare_select(&mut gpu, &t, 0, CompareFunc::Less, 50).unwrap();
         assert_eq!(

@@ -59,10 +59,7 @@ mod tests {
         let (sel, _) = compare_select(&mut gpu, &t, 0, CompareFunc::Less, 50).unwrap();
         gpu.reset_stats();
         sel.count(&mut gpu).unwrap();
-        let readback = gpu
-            .stats()
-            .modeled
-            .get(gpudb_sim::Phase::Readback);
+        let readback = gpu.stats().modeled.get(gpudb_sim::Phase::Readback);
         assert!(readback <= 0.25e-3, "readback {readback}s");
     }
 }

@@ -79,7 +79,13 @@ fn bit_descent(
         let m = x + (1 << i);
         // Count values >= m among the (selected) records.
         // Synchronous fetch: bit i+1's threshold depends on this count.
-        let count = comparison_pass(gpu, table, CompareFunc::GreaterEqual, m, OcclusionMode::Sync)?;
+        let count = comparison_pass(
+            gpu,
+            table,
+            CompareFunc::GreaterEqual,
+            m,
+            OcclusionMode::Sync,
+        )?;
         if count > (k - 1) as u64 {
             x = m;
         }
@@ -202,7 +208,8 @@ pub fn percentile(
     if available == 0 {
         return Err(EngineError::EmptyInput);
     }
-    let rank = ((p.clamp(0.0, 1.0) * available as f64).ceil() as usize).clamp(1, available as usize);
+    let rank =
+        ((p.clamp(0.0, 1.0) * available as f64).ceil() as usize).clamp(1, available as usize);
     kth_smallest(gpu, table, column, rank, selection)
 }
 
@@ -225,7 +232,9 @@ mod tests {
 
     #[test]
     fn kth_largest_matches_sort_reference() {
-        let values: Vec<u32> = (0..200u32).map(|i| i.wrapping_mul(2654435761) % 5000).collect();
+        let values: Vec<u32> = (0..200u32)
+            .map(|i| i.wrapping_mul(2654435761) % 5000)
+            .collect();
         let (mut gpu, t) = setup(&values);
         for k in [1usize, 2, 7, 100, 199, 200] {
             assert_eq!(
@@ -301,15 +310,17 @@ mod tests {
         // subset. Select values < 60, then take order statistics within.
         let values: Vec<u32> = (0..100).collect();
         let (mut gpu, t) = setup(&values);
-        let (sel, count) =
-            compare_select(&mut gpu, &t, 0, CompareFunc::Less, 60).unwrap();
+        let (sel, count) = compare_select(&mut gpu, &t, 0, CompareFunc::Less, 60).unwrap();
         assert_eq!(count, 60);
         assert_eq!(kth_largest(&mut gpu, &t, 0, 1, Some(&sel)).unwrap(), 59);
         assert_eq!(kth_largest(&mut gpu, &t, 0, 60, Some(&sel)).unwrap(), 0);
         assert_eq!(median(&mut gpu, &t, 0, Some(&sel)).unwrap(), 29);
         assert!(matches!(
             kth_largest(&mut gpu, &t, 0, 61, Some(&sel)).unwrap_err(),
-            EngineError::InvalidK { k: 61, available: 60 }
+            EngineError::InvalidK {
+                k: 61,
+                available: 60
+            }
         ));
     }
 
@@ -386,12 +397,16 @@ mod tests {
             kth_largest_many(&mut gpu, &t, 0, &[1, 11], None).unwrap_err(),
             EngineError::InvalidK { k: 11, .. }
         ));
-        assert!(kth_largest_many(&mut gpu, &t, 0, &[], None).unwrap().is_empty());
+        assert!(kth_largest_many(&mut gpu, &t, 0, &[], None)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn top_k_selects_largest_records() {
-        let values: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761) % 10_000).collect();
+        let values: Vec<u32> = (0..100u32)
+            .map(|i| i.wrapping_mul(2654435761) % 10_000)
+            .collect();
         let (mut gpu, t) = setup(&values);
         let (sel, count) = top_k_select(&mut gpu, &t, 0, 10).unwrap();
         assert_eq!(count, 10, "distinct values: exactly k records");
@@ -401,7 +416,10 @@ mod tests {
         let indices = sel.read_indices(&mut gpu);
         assert_eq!(indices.len(), 10);
         for i in indices {
-            assert!(values[i] >= threshold, "record {i} below the top-10 threshold");
+            assert!(
+                values[i] >= threshold,
+                "record {i} below the top-10 threshold"
+            );
         }
     }
 

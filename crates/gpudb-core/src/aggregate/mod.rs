@@ -9,5 +9,7 @@ pub mod mipmap_sum;
 
 pub use accumulator::{avg, sum, sum_with_depth_mask};
 pub use count::{count, count_all, selectivity};
-pub use kth::{kth_largest, kth_largest_many, kth_smallest, max, median, min, percentile, top_k_select};
+pub use kth::{
+    kth_largest, kth_largest_many, kth_smallest, max, median, min, percentile, top_k_select,
+};
 pub use mipmap_sum::mipmap_sum;

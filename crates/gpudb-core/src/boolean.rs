@@ -127,8 +127,7 @@ pub fn eval_cnf_select(
 ) -> EngineResult<(Selection, u64)> {
     if !cnf.clauses.is_empty() && cnf.clauses.iter().all(|c| c.predicates.len() == 1) {
         cnf.validate(table)?;
-        let predicates: Vec<GpuPredicate> =
-            cnf.clauses.iter().map(|c| c.predicates[0]).collect();
+        let predicates: Vec<GpuPredicate> = cnf.clauses.iter().map(|c| c.predicates[0]).collect();
         return eval_conjunction_select(gpu, table, &predicates);
     }
     eval_cnf_general_select(gpu, table, cnf)
@@ -727,7 +726,9 @@ mod tests {
     #[test]
     fn mixed_columns_across_textures() {
         // 5 columns span two textures; CNF touches both.
-        let cols: Vec<Vec<u32>> = (0..5).map(|c| (0..40u32).map(|i| (i + c) % 20).collect()).collect();
+        let cols: Vec<Vec<u32>> = (0..5)
+            .map(|c| (0..40u32).map(|i| (i + c) % 20).collect())
+            .collect();
         let named: Vec<(&str, &[u32])> = ["a", "b", "c", "d", "e"]
             .iter()
             .zip(&cols)

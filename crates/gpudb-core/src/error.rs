@@ -67,7 +67,10 @@ impl fmt::Display for EngineError {
                 write!(f, "k = {k} out of range for {available} records")
             }
             EngineError::TooManyAttributes(n) => {
-                write!(f, "semi-linear query over {n} attributes unsupported (max 8)")
+                write!(
+                    f,
+                    "semi-linear query over {n} attributes unsupported (max 8)"
+                )
             }
             EngineError::TableNotFound(name) => write!(f, "table {name:?} not found"),
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),

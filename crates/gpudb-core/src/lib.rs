@@ -22,7 +22,10 @@
 //! * [`stream`] — sliding-window continuous queries (§7: "continuous
 //!   queries over streams");
 //! * [`timing`] — per-operation modeled timing breakdowns matching the
-//!   paper's "with copy" / "computation only" split.
+//!   paper's "with copy" / "computation only" split;
+//! * [`metrics`] — structured per-operator metrics records (work
+//!   counters + modeled phase times) backing the perf-regression
+//!   harness in `gpudb-bench`.
 //!
 //! ## Example
 //!
@@ -52,6 +55,7 @@
 pub mod aggregate;
 pub mod boolean;
 pub mod error;
+pub mod metrics;
 pub mod olap;
 pub mod ops;
 pub mod out_of_core;
@@ -67,6 +71,7 @@ pub mod timing;
 
 pub use boolean::{GpuClause, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
 pub use error::{EngineError, EngineResult};
+pub use metrics::{MetricsLog, MetricsRecord};
 pub use selection::Selection;
 pub use table::GpuTable;
 pub use timing::OpTiming;

@@ -1,0 +1,389 @@
+//! Structured per-operator metrics records.
+//!
+//! Every database operator can be run under [`observe`], which snapshots
+//! the device's architectural work counters and phase-attributed modeled
+//! clock around the operation and emits a [`MetricsRecord`] tagged with
+//! the operator name and input size. Records deliberately contain **no
+//! wall-clock** component: everything in them is a deterministic function
+//! of the input, so two runs of the same workload produce byte-identical
+//! records — the property the perf-regression harness in `gpudb-bench`
+//! is built on.
+//!
+//! [`ops`] provides instrumented entry points for each operator family of
+//! the paper (predicate, range, CNF/DNF, semi-linear, k-th, accumulator);
+//! the query executor emits one record per plan stage into
+//! [`crate::query::QueryOutput::metrics`].
+
+use crate::error::EngineResult;
+use gpudb_sim::{Gpu, Phase, PhaseTimes, WorkCounters};
+use serde::{Deserialize, Serialize};
+
+/// Modeled time split by phase, in integer nanoseconds. Rounding the
+/// simulator's f64 seconds to whole nanoseconds keeps the serialized form
+/// exact and diff-friendly without losing meaningful precision (the model
+/// resolves microseconds at best).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseNanos {
+    /// Host → device upload.
+    pub upload: u64,
+    /// Attribute copy into the depth buffer (§5.4).
+    pub copy_to_depth: u64,
+    /// Computation passes.
+    pub compute: u64,
+    /// Occlusion/result readback.
+    pub readback: u64,
+    /// Unattributed time.
+    pub other: u64,
+}
+
+impl PhaseNanos {
+    /// Convert a phase-time delta (seconds) to whole nanoseconds.
+    pub fn from_phases(delta: &PhaseTimes) -> PhaseNanos {
+        let ns = |p: Phase| (delta.get(p) * 1e9).round() as u64;
+        PhaseNanos {
+            upload: ns(Phase::Upload),
+            copy_to_depth: ns(Phase::CopyToDepth),
+            compute: ns(Phase::Compute),
+            readback: ns(Phase::Readback),
+            other: ns(Phase::Other),
+        }
+    }
+
+    /// Total modeled nanoseconds across phases.
+    pub fn total(&self) -> u64 {
+        self.upload + self.copy_to_depth + self.compute + self.readback + self.other
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &PhaseNanos) -> PhaseNanos {
+        PhaseNanos {
+            upload: self.upload + other.upload,
+            copy_to_depth: self.copy_to_depth + other.copy_to_depth,
+            compute: self.compute + other.compute,
+            readback: self.readback + other.readback,
+            other: self.other + other.other,
+        }
+    }
+}
+
+/// One operator execution: its name, input size, the architectural work
+/// it generated, and the modeled time that work costs on the paper's 2004
+/// hardware. Fully deterministic — no wall-clock fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsRecord {
+    /// Operator name, e.g. `predicate/compare_count` or `agg/SUM(a)`.
+    pub operator: String,
+    /// Number of input records the operator ran over.
+    pub input_records: u64,
+    /// Work-counter deltas attributed to this operation.
+    pub counters: WorkCounters,
+    /// Modeled time by phase, in nanoseconds.
+    pub modeled_ns: PhaseNanos,
+}
+
+impl MetricsRecord {
+    /// Total modeled nanoseconds.
+    pub fn modeled_total_ns(&self) -> u64 {
+        self.modeled_ns.total()
+    }
+
+    /// Total modeled milliseconds (for display).
+    pub fn modeled_ms(&self) -> f64 {
+        self.modeled_ns.total() as f64 / 1e6
+    }
+}
+
+/// Run `op` against the device and capture a [`MetricsRecord`] for it.
+pub fn observe<T>(
+    gpu: &mut Gpu,
+    operator: impl Into<String>,
+    input_records: u64,
+    op: impl FnOnce(&mut Gpu) -> T,
+) -> (T, MetricsRecord) {
+    let counters_before = gpu.stats().counters();
+    let modeled_before = gpu.stats().modeled;
+    let result = op(gpu);
+    let stats = gpu.stats();
+    let record = MetricsRecord {
+        operator: operator.into(),
+        input_records,
+        counters: stats.counters().since(&counters_before),
+        modeled_ns: PhaseNanos::from_phases(&stats.modeled.since(&modeled_before)),
+    };
+    (result, record)
+}
+
+/// An append-only collection of [`MetricsRecord`]s from one workload run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsLog {
+    /// Records in execution order.
+    pub records: Vec<MetricsRecord>,
+}
+
+impl MetricsLog {
+    /// An empty log.
+    pub fn new() -> MetricsLog {
+        MetricsLog::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: MetricsRecord) {
+        self.records.push(record);
+    }
+
+    /// Append every record of another log.
+    pub fn extend(&mut self, other: MetricsLog) {
+        self.records.extend(other.records);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total modeled nanoseconds across all records.
+    pub fn modeled_total_ns(&self) -> u64 {
+        self.records
+            .iter()
+            .map(MetricsRecord::modeled_total_ns)
+            .sum()
+    }
+}
+
+/// Instrumented entry points for the paper's operator families. Each is a
+/// thin wrapper over the corresponding primitive that also returns the
+/// operation's [`MetricsRecord`].
+pub mod ops {
+    use super::{observe, MetricsRecord};
+    use crate::aggregate;
+    use crate::boolean::{eval_cnf_count, eval_dnf_count, GpuCnf, GpuDnf};
+    use crate::predicate::{compare_count, copy_to_depth};
+    use crate::range::range_count;
+    use crate::selection::Selection;
+    use crate::semilinear::semilinear_count;
+    use crate::table::GpuTable;
+    use gpudb_sim::{CompareFunc, Gpu};
+
+    use super::EngineResult;
+
+    /// Hoist the `EngineResult` out of an `observe` closure's return value.
+    fn lift<T>(
+        (result, record): (EngineResult<T>, MetricsRecord),
+    ) -> EngineResult<(T, MetricsRecord)> {
+        result.map(|value| (value, record))
+    }
+
+    /// Instrumented `CopyToDepth` (Routine 4.1's setup step).
+    pub fn copy_to_depth_op(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        column: usize,
+    ) -> EngineResult<((), MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "predicate/copy_to_depth", n, |gpu| {
+            copy_to_depth(gpu, table, column)
+        }))
+    }
+
+    /// Instrumented predicate count (Routine 4.1).
+    pub fn predicate_count(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        column: usize,
+        op: CompareFunc,
+        constant: u32,
+    ) -> EngineResult<(u64, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "predicate/compare_count", n, |gpu| {
+            compare_count(gpu, table, column, op, constant)
+        }))
+    }
+
+    /// Instrumented range count (Routine 4.4, depth-bounds test).
+    pub fn range_count_op(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        column: usize,
+        low: u32,
+        high: u32,
+    ) -> EngineResult<(u64, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "range/range_count", n, |gpu| {
+            range_count(gpu, table, column, low, high)
+        }))
+    }
+
+    /// Instrumented CNF evaluation (Routine 4.3).
+    pub fn cnf_count(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        cnf: &GpuCnf,
+    ) -> EngineResult<(u64, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "boolean/eval_cnf_count", n, |gpu| {
+            eval_cnf_count(gpu, table, cnf)
+        }))
+    }
+
+    /// Instrumented DNF evaluation.
+    pub fn dnf_count(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        dnf: &GpuDnf,
+    ) -> EngineResult<(u64, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "boolean/eval_dnf_count", n, |gpu| {
+            eval_dnf_count(gpu, table, dnf)
+        }))
+    }
+
+    /// Instrumented semi-linear query count (Routine 4.2).
+    pub fn semilinear_count_op(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        coefficients: &[f32],
+        op: CompareFunc,
+        constant: f32,
+    ) -> EngineResult<(u64, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "semilinear/semilinear_count", n, |gpu| {
+            semilinear_count(gpu, table, coefficients, op, constant)
+        }))
+    }
+
+    /// Instrumented k-th largest (Routine 4.5, bit descent).
+    pub fn kth_largest_op(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        column: usize,
+        k: usize,
+        selection: Option<&Selection>,
+    ) -> EngineResult<(u32, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "aggregate/kth_largest", n, |gpu| {
+            aggregate::kth_largest(gpu, table, column, k, selection)
+        }))
+    }
+
+    /// Instrumented median (k-th at the selection midpoint).
+    pub fn median_op(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        column: usize,
+        selection: Option<&Selection>,
+    ) -> EngineResult<(u32, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "aggregate/median", n, |gpu| {
+            aggregate::median(gpu, table, column, selection)
+        }))
+    }
+
+    /// Instrumented bitwise-accumulator SUM (Routine 4.6).
+    pub fn accumulator_sum(
+        gpu: &mut Gpu,
+        table: &GpuTable,
+        column: usize,
+        selection: Option<&Selection>,
+    ) -> EngineResult<(u64, MetricsRecord)> {
+        let n = table.record_count() as u64;
+        lift(observe(gpu, "aggregate/accumulator_sum", n, |gpu| {
+            aggregate::sum(gpu, table, column, selection)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::GpuTable;
+    use gpudb_sim::CompareFunc;
+
+    fn setup(n: u32) -> (Gpu, GpuTable, Vec<u32>) {
+        let values: Vec<u32> = (0..n).map(|i| (i * 37) % 500).collect();
+        let mut gpu = GpuTable::device_for(values.len(), 50);
+        let t = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap();
+        (gpu, t, values)
+    }
+
+    #[test]
+    fn observe_attributes_work_to_the_operator() {
+        let (mut gpu, t, values) = setup(400);
+        let ((), before_record) = ops::copy_to_depth_op(&mut gpu, &t, 0).unwrap();
+        assert_eq!(before_record.operator, "predicate/copy_to_depth");
+        assert_eq!(before_record.input_records, 400);
+        assert!(before_record.counters.fragments_generated >= 400);
+        assert!(before_record.modeled_ns.copy_to_depth > 0);
+        assert_eq!(before_record.modeled_ns.upload, 0);
+
+        let (count, record) =
+            ops::predicate_count(&mut gpu, &t, 0, CompareFunc::Less, 250).unwrap();
+        assert_eq!(count, values.iter().filter(|&&v| v < 250).count() as u64);
+        assert!(record.counters.draw_calls > 0);
+        assert!(record.modeled_total_ns() > 0);
+        assert!(record.modeled_ms() > 0.0);
+    }
+
+    #[test]
+    fn records_are_deterministic_across_runs() {
+        let run = || {
+            let (mut gpu, t, _) = setup(300);
+            let (_, a) = ops::predicate_count(&mut gpu, &t, 0, CompareFunc::Greater, 100).unwrap();
+            let (_, b) = ops::range_count_op(&mut gpu, &t, 0, 50, 350).unwrap();
+            let (_, c) = ops::kth_largest_op(&mut gpu, &t, 0, 7, None).unwrap();
+            let (_, d) = ops::accumulator_sum(&mut gpu, &t, 0, None).unwrap();
+            (a, b, c, d)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metrics_log_accumulates() {
+        let (mut gpu, t, _) = setup(200);
+        let mut log = MetricsLog::new();
+        assert!(log.is_empty());
+        let (_, r1) = ops::predicate_count(&mut gpu, &t, 0, CompareFunc::Less, 100).unwrap();
+        let (_, r2) = ops::range_count_op(&mut gpu, &t, 0, 10, 90).unwrap();
+        let sum = r1.modeled_total_ns() + r2.modeled_total_ns();
+        log.push(r1);
+        log.push(r2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.modeled_total_ns(), sum);
+
+        let mut merged = MetricsLog::new();
+        merged.extend(log.clone());
+        assert_eq!(merged, log);
+    }
+
+    #[test]
+    fn phase_nanos_round_trip_and_sum() {
+        let mut phases = PhaseTimes::default();
+        phases.add(Phase::Compute, 1.5e-3);
+        phases.add(Phase::Readback, 2.5e-6);
+        let ns = PhaseNanos::from_phases(&phases);
+        assert_eq!(ns.compute, 1_500_000);
+        assert_eq!(ns.readback, 2_500);
+        assert_eq!(ns.total(), 1_502_500);
+        let doubled = ns.plus(&ns);
+        assert_eq!(doubled.total(), 3_005_000);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let (mut gpu, t, _) = setup(150);
+        let (_, record) = ops::predicate_count(&mut gpu, &t, 0, CompareFunc::Equal, 37).unwrap();
+        let json = serde_json::to_string(&record).unwrap();
+        let back: MetricsRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+
+        let mut log = MetricsLog::new();
+        log.push(record);
+        let json = serde_json::to_string_pretty(&log).unwrap();
+        let back: MetricsLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

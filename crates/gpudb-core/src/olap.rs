@@ -15,7 +15,7 @@
 use crate::aggregate;
 use crate::error::{EngineError, EngineResult};
 use crate::ops::encode_depth_f64;
-use crate::predicate::{comparison_pass, compare_select, copy_to_depth, OcclusionMode};
+use crate::predicate::{compare_select, comparison_pass, copy_to_depth, OcclusionMode};
 use crate::query::executor::AggValue;
 use crate::table::GpuTable;
 use gpudb_sim::state::ColorMask;
@@ -121,13 +121,7 @@ pub fn group_by_count(
     copy_to_depth(gpu, table, dimension)?;
     let mut groups = Vec::new();
     for value in min..=max {
-        let count = comparison_pass(
-            gpu,
-            table,
-            CompareFunc::Equal,
-            value,
-            OcclusionMode::Async,
-        )?;
+        let count = comparison_pass(gpu, table, CompareFunc::Equal, value, OcclusionMode::Async)?;
         if count > 0 {
             groups.push((value, count));
         }
@@ -210,8 +204,7 @@ pub fn group_by_aggregate(
     let groups = group_by_count(gpu, table, dimension)?;
     let mut out = Vec::with_capacity(groups.len());
     for (value, _count) in groups {
-        let (selection, _) =
-            compare_select(gpu, table, dimension, CompareFunc::Equal, value)?;
+        let (selection, _) = compare_select(gpu, table, dimension, CompareFunc::Equal, value)?;
         let result = match agg {
             GroupAggregate::Sum => {
                 AggValue::Sum(aggregate::sum(gpu, table, measure, Some(&selection))?)
@@ -273,8 +266,7 @@ pub fn cube_count(
                 gpudb_sim::StencilOp::Keep,
                 gpudb_sim::StencilOp::Keep,
             );
-            let count =
-                comparison_pass(gpu, table, CompareFunc::Equal, v2, OcclusionMode::Async)?;
+            let count = comparison_pass(gpu, table, CompareFunc::Equal, v2, OcclusionMode::Async)?;
             if count > 0 {
                 cells.push(((v1, v2), count));
             }
@@ -314,7 +306,10 @@ mod tests {
         let buckets = histogram(&mut gpu, &t, 0, &edges).unwrap();
         assert_eq!(buckets.len(), 5);
         for b in &buckets {
-            let expected = values.iter().filter(|&&v| v >= b.low && v <= b.high).count() as u64;
+            let expected = values
+                .iter()
+                .filter(|&&v| v >= b.low && v <= b.high)
+                .count() as u64;
             assert_eq!(b.count, expected, "bucket [{}, {}]", b.low, b.high);
         }
         let total: u64 = buckets.iter().map(|b| b.count).sum();
@@ -372,9 +367,8 @@ mod tests {
         let measure: Vec<u32> = (0..60u32).map(|i| i * 10).collect();
         let (mut gpu, t) = setup(&dim, &measure);
 
-        let reference = |g: u32| -> Vec<u32> {
-            (0..60u32).filter(|i| i % 3 == g).map(|i| i * 10).collect()
-        };
+        let reference =
+            |g: u32| -> Vec<u32> { (0..60u32).filter(|i| i % 3 == g).map(|i| i * 10).collect() };
 
         let sums = group_by_aggregate(&mut gpu, &t, 0, 1, GroupAggregate::Sum).unwrap();
         for &(g, ref v) in &sums {
@@ -437,7 +431,10 @@ mod tests {
                 l * r / ((hi - lo) as f64 + 1.0)
             })
             .sum();
-        assert!((est - expected).abs() < 1e-9, "est {est} expected {expected}");
+        assert!(
+            (est - expected).abs() < 1e-9,
+            "est {est} expected {expected}"
+        );
 
         // Sanity: for these fairly uniform 6-bit keys the estimate is
         // within 2x of the exact join size.
@@ -458,8 +455,14 @@ mod tests {
         let mut gpu = GpuTable::device_for(10, 5);
         let t = GpuTable::upload(&mut gpu, "t", &[("a", &vals)]).unwrap();
         let e = GpuTable::upload(&mut gpu, "e", &[("a", &empty)]).unwrap();
-        assert_eq!(estimate_equijoin_size(&mut gpu, &t, 0, &e, 0, 4).unwrap(), 0.0);
-        assert_eq!(estimate_equijoin_size(&mut gpu, &e, 0, &t, 0, 4).unwrap(), 0.0);
+        assert_eq!(
+            estimate_equijoin_size(&mut gpu, &t, 0, &e, 0, 4).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            estimate_equijoin_size(&mut gpu, &e, 0, &t, 0, 4).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -470,9 +473,7 @@ mod tests {
         let cells = cube_count(&mut gpu, &t, 0, 1).unwrap();
         let mut total = 0u64;
         for &((v1, v2), count) in &cells {
-            let expected = (0..120)
-                .filter(|&i| d1[i] == v1 && d2[i] == v2)
-                .count() as u64;
+            let expected = (0..120).filter(|&i| d1[i] == v1 && d2[i] == v2).count() as u64;
             assert_eq!(count, expected, "cell ({v1}, {v2})");
             assert!(count > 0, "empty cells omitted");
             total += count;

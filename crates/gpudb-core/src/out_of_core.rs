@@ -236,7 +236,9 @@ mod tests {
         let ct = ChunkedTable::new("big", vec![("a", &values)], chunk).unwrap();
         assert_eq!(ct.chunk_count(), 10);
         let mut gpu = ct.device_for_chunks(64);
-        let count = ct.count(&mut gpu, 0, CompareFunc::GreaterEqual, 30_000).unwrap();
+        let count = ct
+            .count(&mut gpu, 0, CompareFunc::GreaterEqual, 30_000)
+            .unwrap();
         let expected = values.iter().filter(|&&v| v >= 30_000).count() as u64;
         assert_eq!(count, expected);
     }
@@ -248,7 +250,10 @@ mod tests {
         let mut gpu = ct.device_for_chunks(40);
         assert_eq!(
             ct.range_count(&mut gpu, 0, 1_000, 50_000).unwrap(),
-            values.iter().filter(|&&v| (1_000..=50_000).contains(&v)).count() as u64
+            values
+                .iter()
+                .filter(|&&v| (1_000..=50_000).contains(&v))
+                .count() as u64
         );
         assert_eq!(
             ct.sum(&mut gpu, 0).unwrap(),
@@ -345,7 +350,13 @@ mod tests {
         let mut gpu = ct.device_for_chunks(4);
         assert_eq!(ct.count(&mut gpu, 0, CompareFunc::Less, 1).unwrap(), 0);
         assert_eq!(ct.sum(&mut gpu, 0).unwrap(), 0);
-        assert!(matches!(ct.max(&mut gpu, 0).unwrap_err(), EngineError::EmptyInput));
-        assert!(matches!(ct.median(&mut gpu, 0).unwrap_err(), EngineError::EmptyInput));
+        assert!(matches!(
+            ct.max(&mut gpu, 0).unwrap_err(),
+            EngineError::EmptyInput
+        ));
+        assert!(matches!(
+            ct.median(&mut gpu, 0).unwrap_err(),
+            EngineError::EmptyInput
+        ));
     }
 }

@@ -29,11 +29,11 @@ pub fn copy_to_depth(gpu: &mut Gpu, table: &GpuTable, column: usize) -> EngineRe
     gpu.reset_state();
     gpu.bind_texture(0, Some(texture))?;
     gpu.bind_program(Some(builtin::copy_to_depth()));
+    gpu.set_program_env(builtin::ENV_SCALE, [DEPTH_SCALE_INV_F32, 0.0, 0.0, 0.0])?;
     gpu.set_program_env(
-        builtin::ENV_SCALE,
-        [DEPTH_SCALE_INV_F32, 0.0, 0.0, 0.0],
+        builtin::ENV_CHANNEL,
+        builtin::channel_selector(meta.channel),
     )?;
-    gpu.set_program_env(builtin::ENV_CHANNEL, builtin::channel_selector(meta.channel))?;
     gpu.set_color_mask(ColorMask::NONE);
     gpu.set_depth_test(false, CompareFunc::Always);
     gpu.set_depth_write(true);

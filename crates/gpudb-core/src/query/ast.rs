@@ -197,7 +197,10 @@ mod tests {
         assert_eq!(Aggregate::Count.label(), "COUNT(*)");
         assert_eq!(Aggregate::Count.column(), None);
         assert_eq!(Aggregate::Sum("x".into()).label(), "SUM(x)");
-        assert_eq!(Aggregate::KthLargest("y".into(), 3).label(), "KTH_LARGEST(y, 3)");
+        assert_eq!(
+            Aggregate::KthLargest("y".into(), 3).label(),
+            "KTH_LARGEST(y, 3)"
+        );
         assert_eq!(Aggregate::Median("m".into()).column(), Some("m"));
     }
 }

@@ -3,6 +3,7 @@
 use crate::aggregate;
 use crate::boolean::{eval_cnf_select, eval_dnf_select};
 use crate::error::{EngineError, EngineResult};
+use crate::metrics::{self, MetricsRecord};
 use crate::query::ast::{Aggregate, Query};
 use crate::query::planner::{plan_selection, SelectionPlan};
 use crate::range::range_select;
@@ -36,6 +37,9 @@ pub struct QueryOutput {
     pub rows: Vec<(String, AggValue)>,
     /// Modeled device timing for the whole query.
     pub timing: OpTiming,
+    /// One deterministic metrics record per executed plan stage (the
+    /// selection, then each aggregate in SELECT-list order).
+    pub metrics: Vec<MetricsRecord>,
 }
 
 /// Execute the selection plan, returning the selection (None = all
@@ -70,50 +74,40 @@ fn execute_selection(
     }
 }
 
+/// Short operator tag for a selection plan, used in metrics records.
+fn plan_operator(plan: &SelectionPlan) -> &'static str {
+    match plan {
+        SelectionPlan::All => "filter/all",
+        SelectionPlan::Range { .. } => "filter/range",
+        SelectionPlan::Cnf(_) => "filter/cnf",
+        SelectionPlan::Dnf(_) => "filter/dnf",
+        SelectionPlan::SemiLinear { .. } => "filter/semilinear",
+    }
+}
+
 /// Execute a query against a table.
 pub fn execute(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<QueryOutput> {
     let plan = plan_selection(table, query.filter.as_ref())?;
+    let total_records = table.record_count() as u64;
+    let mut records: Vec<MetricsRecord> = Vec::with_capacity(1 + query.aggregates.len());
     let (result, timing) = measure(gpu, |gpu| -> EngineResult<_> {
-        let (selection, matched) = execute_selection(gpu, table, &plan)?;
+        let (sel_result, sel_record) =
+            metrics::observe(gpu, plan_operator(&plan), total_records, |gpu| {
+                execute_selection(gpu, table, &plan)
+            });
+        let (selection, matched) = sel_result?;
+        records.push(sel_record);
         let sel_ref = selection.as_ref();
         let mut rows = Vec::with_capacity(query.aggregates.len());
         for agg in &query.aggregates {
-            let value = match agg {
-                Aggregate::Count => AggValue::Count(matched),
-                Aggregate::Sum(col) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Sum(aggregate::sum(gpu, table, idx, sel_ref)?)
-                }
-                Aggregate::Avg(col) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Avg(aggregate::avg(gpu, table, idx, sel_ref)?)
-                }
-                Aggregate::Min(col) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Value(aggregate::min(gpu, table, idx, sel_ref)?)
-                }
-                Aggregate::Max(col) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Value(aggregate::max(gpu, table, idx, sel_ref)?)
-                }
-                Aggregate::Median(col) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Value(aggregate::median(gpu, table, idx, sel_ref)?)
-                }
-                Aggregate::KthLargest(col, k) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Value(aggregate::kth_largest(gpu, table, idx, *k, sel_ref)?)
-                }
-                Aggregate::KthSmallest(col, k) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Value(aggregate::kth_smallest(gpu, table, idx, *k, sel_ref)?)
-                }
-                Aggregate::Percentile(col, p) => {
-                    let idx = table.column_index(col)?;
-                    AggValue::Value(aggregate::percentile(gpu, table, idx, *p, sel_ref)?)
-                }
-            };
-            rows.push((agg.label(), value));
+            // Aggregates consume the selected records, so their input
+            // size is the match count, not the table size.
+            let (value_result, agg_record) =
+                metrics::observe(gpu, format!("agg/{}", agg.label()), matched, |gpu| {
+                    compute_aggregate(gpu, table, agg, matched, sel_ref)
+                });
+            rows.push((agg.label(), value_result?));
+            records.push(agg_record);
         }
         Ok((matched, rows))
     });
@@ -128,6 +122,52 @@ pub fn execute(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<Q
         selectivity,
         rows,
         timing,
+        metrics: records,
+    })
+}
+
+/// Evaluate one aggregate of the SELECT list over the selection.
+fn compute_aggregate(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    agg: &Aggregate,
+    matched: u64,
+    sel_ref: Option<&Selection>,
+) -> EngineResult<AggValue> {
+    Ok(match agg {
+        Aggregate::Count => AggValue::Count(matched),
+        Aggregate::Sum(col) => {
+            let idx = table.column_index(col)?;
+            AggValue::Sum(aggregate::sum(gpu, table, idx, sel_ref)?)
+        }
+        Aggregate::Avg(col) => {
+            let idx = table.column_index(col)?;
+            AggValue::Avg(aggregate::avg(gpu, table, idx, sel_ref)?)
+        }
+        Aggregate::Min(col) => {
+            let idx = table.column_index(col)?;
+            AggValue::Value(aggregate::min(gpu, table, idx, sel_ref)?)
+        }
+        Aggregate::Max(col) => {
+            let idx = table.column_index(col)?;
+            AggValue::Value(aggregate::max(gpu, table, idx, sel_ref)?)
+        }
+        Aggregate::Median(col) => {
+            let idx = table.column_index(col)?;
+            AggValue::Value(aggregate::median(gpu, table, idx, sel_ref)?)
+        }
+        Aggregate::KthLargest(col, k) => {
+            let idx = table.column_index(col)?;
+            AggValue::Value(aggregate::kth_largest(gpu, table, idx, *k, sel_ref)?)
+        }
+        Aggregate::KthSmallest(col, k) => {
+            let idx = table.column_index(col)?;
+            AggValue::Value(aggregate::kth_smallest(gpu, table, idx, *k, sel_ref)?)
+        }
+        Aggregate::Percentile(col, p) => {
+            let idx = table.column_index(col)?;
+            AggValue::Value(aggregate::percentile(gpu, table, idx, *p, sel_ref)?)
+        }
     })
 }
 
@@ -238,9 +278,7 @@ mod tests {
         );
         let out = execute(&mut gpu, &t, &q).unwrap();
 
-        let selected: Vec<usize> = (0..100)
-            .filter(|&i| a[i] >= 50 && b[i] < 100)
-            .collect();
+        let selected: Vec<usize> = (0..100).filter(|&i| a[i] >= 50 && b[i] < 100).collect();
         assert_eq!(out.matched, selected.len() as u64);
         let sum_b: u64 = selected.iter().map(|&i| b[i] as u64).sum();
         assert_eq!(out.value("SUM(b)"), Some(&AggValue::Sum(sum_b)));
@@ -252,7 +290,10 @@ mod tests {
         let mut sel_a: Vec<u32> = selected.iter().map(|&i| a[i]).collect();
         sel_a.sort_unstable();
         let expect_median = sel_a[sel_a.len().div_ceil(2) - 1];
-        assert_eq!(out.value("MEDIAN(a)"), Some(&AggValue::Value(expect_median)));
+        assert_eq!(
+            out.value("MEDIAN(a)"),
+            Some(&AggValue::Value(expect_median))
+        );
     }
 
     #[test]
@@ -348,10 +389,7 @@ mod tests {
             },
         );
         let out = execute(&mut gpu, &t, &q).unwrap();
-        let expected = a
-            .iter()
-            .filter(|&&v| [0, 37, 74, 111].contains(&v))
-            .count() as u64;
+        let expected = a.iter().filter(|&&v| [0, 37, 74, 111].contains(&v)).count() as u64;
         assert_eq!(out.matched, expected);
 
         // NOT IN is the complement.
@@ -384,10 +422,7 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort_unstable();
         let rank = ((0.9 * 100.0f64).ceil() as usize).clamp(1, 100);
-        assert_eq!(
-            out.rows[0].1,
-            AggValue::Value(sorted[rank - 1])
-        );
+        assert_eq!(out.rows[0].1, AggValue::Value(sorted[rank - 1]));
     }
 
     #[test]
@@ -422,6 +457,34 @@ mod tests {
         );
         let text = explain(&t, &q).unwrap();
         assert!(text.contains("SEMILINEAR"), "{text}");
+    }
+
+    #[test]
+    fn execute_emits_per_stage_metrics() {
+        let (mut gpu, t, _, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("a".into())],
+            BoolExpr::Between {
+                column: "a".into(),
+                low: 40,
+                high: 120,
+            },
+        );
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        assert_eq!(out.metrics.len(), 3);
+        assert_eq!(out.metrics[0].operator, "filter/range");
+        assert_eq!(out.metrics[1].operator, "agg/COUNT(*)");
+        assert_eq!(out.metrics[2].operator, "agg/SUM(a)");
+        assert_eq!(out.metrics[0].input_records, 100);
+        assert_eq!(out.metrics[1].input_records, out.matched);
+        assert!(out.metrics[0].modeled_total_ns() > 0);
+        // COUNT reuses the selection's occlusion count: no device work.
+        assert_eq!(out.metrics[1].counters.draw_calls, 0);
+        assert!(out.metrics[2].counters.draw_calls > 0);
+        // Stage modeled times are a partition of the query's total.
+        let stage_ns: u64 = out.metrics.iter().map(|r| r.modeled_total_ns()).sum();
+        let total_ns = (out.timing.total() * 1e9).round() as u64;
+        assert!(stage_ns.abs_diff(total_ns) <= out.metrics.len() as u64);
     }
 
     #[test]

@@ -124,11 +124,13 @@ fn tokenize(input: &str) -> EngineResult<Vec<Token>> {
                 let text: String = bytes[start..i].iter().collect();
                 if text.contains('.') {
                     tokens.push(Token::Float(
-                        text.parse().map_err(|_| err(format!("bad number {text:?}")))?,
+                        text.parse()
+                            .map_err(|_| err(format!("bad number {text:?}")))?,
                     ));
                 } else {
                     tokens.push(Token::Int(
-                        text.parse().map_err(|_| err(format!("bad number {text:?}")))?,
+                        text.parse()
+                            .map_err(|_| err(format!("bad number {text:?}")))?,
                     ));
                 }
             }
@@ -156,7 +158,10 @@ impl Parser {
     }
 
     fn next(&mut self) -> EngineResult<&Token> {
-        let tok = self.tokens.get(self.pos).ok_or_else(|| err("unexpected end of input"))?;
+        let tok = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| err("unexpected end of input"))?;
         self.pos += 1;
         Ok(tok)
     }
@@ -302,13 +307,12 @@ impl Parser {
         if self.peek_keyword("IN") {
             self.pos += 1;
             self.expect_symbol("(")?;
-            let mut values = vec![u32::try_from(self.int()?)
-                .map_err(|_| err("IN value exceeds 32 bits"))?];
+            let mut values =
+                vec![u32::try_from(self.int()?).map_err(|_| err("IN value exceeds 32 bits"))?];
             while self.peek() == Some(&Token::Symbol(",")) {
                 self.pos += 1;
-                values.push(
-                    u32::try_from(self.int()?).map_err(|_| err("IN value exceeds 32 bits"))?,
-                );
+                values
+                    .push(u32::try_from(self.int()?).map_err(|_| err("IN value exceeds 32 bits"))?);
             }
             self.expect_symbol(")")?;
             return Ok(BoolExpr::InList { column, values });
@@ -325,8 +329,7 @@ impl Parser {
             Token::Int(v) => Ok(BoolExpr::Pred {
                 column,
                 op,
-                constant: u32::try_from(*v)
-                    .map_err(|_| err("constant exceeds 32 bits"))?,
+                constant: u32::try_from(*v).map_err(|_| err("constant exceeds 32 bits"))?,
             }),
             Token::Ident(right) => Ok(BoolExpr::CompareColumns {
                 left: column,
@@ -401,8 +404,7 @@ mod tests {
 
     #[test]
     fn between_binds_tighter_than_and() {
-        let stmt =
-            parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b > 3").unwrap();
+        let stmt = parse("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b > 3").unwrap();
         match stmt.query.filter.unwrap() {
             BoolExpr::And(lhs, rhs) => {
                 assert!(matches!(*lhs, BoolExpr::Between { .. }));
@@ -437,7 +439,11 @@ mod tests {
             ("!=", NotEqual),
         ] {
             let stmt = parse(&format!("SELECT COUNT(*) FROM t WHERE a {text} 7")).unwrap();
-            assert_eq!(stmt.query.filter, Some(BoolExpr::pred("a", op, 7)), "{text}");
+            assert_eq!(
+                stmt.query.filter,
+                Some(BoolExpr::pred("a", op, 7)),
+                "{text}"
+            );
         }
     }
 

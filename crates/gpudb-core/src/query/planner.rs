@@ -157,7 +157,9 @@ fn dnf_terms(table: &GpuTable, expr: &BoolExpr) -> EngineResult<Vec<GpuTerm>> {
             constant,
         } => {
             let idx = table.column_index(column)?;
-            Ok(vec![GpuTerm::single(GpuPredicate::new(idx, *op, *constant))])
+            Ok(vec![GpuTerm::single(GpuPredicate::new(
+                idx, *op, *constant,
+            ))])
         }
         BoolExpr::Or(a, b) => {
             let mut terms = dnf_terms(table, a)?;
@@ -258,10 +260,7 @@ fn to_nnf(expr: BoolExpr, negated: bool) -> EngineResult<BoolExpr> {
             if values.is_empty() {
                 // Empty membership set: FALSE (or TRUE when negated);
                 // encode with a Never/Always predicate on the column.
-                return to_nnf(
-                    BoolExpr::pred(column, CompareFunc::Never, 0),
-                    negated,
-                );
+                return to_nnf(BoolExpr::pred(column, CompareFunc::Never, 0), negated);
             }
             // Positive: v0 = x OR v1 = x OR ...; negated: AND of !=.
             let mut iter = values.into_iter();
@@ -477,7 +476,11 @@ mod tests {
         let e = BoolExpr::pred("a", LessEqual, 8).and(BoolExpr::pred("a", GreaterEqual, 3));
         assert!(matches!(
             plan_selection(&t, Some(&e)).unwrap(),
-            SelectionPlan::Range { low: 3, high: 8, .. }
+            SelectionPlan::Range {
+                low: 3,
+                high: 8,
+                ..
+            }
         ));
     }
 
@@ -536,7 +539,10 @@ mod tests {
         match plan_selection(&t, Some(&e)).unwrap() {
             SelectionPlan::Cnf(cnf) => {
                 assert_eq!(cnf.clauses.len(), 2);
-                assert_eq!(cnf.clauses[0].predicates[0], GpuPredicate::new(0, GreaterEqual, 5));
+                assert_eq!(
+                    cnf.clauses[0].predicates[0],
+                    GpuPredicate::new(0, GreaterEqual, 5)
+                );
                 assert_eq!(cnf.clauses[1].predicates[0], GpuPredicate::new(1, Less, 3));
             }
             other => panic!("unexpected {other:?}"),

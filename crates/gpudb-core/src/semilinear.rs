@@ -258,7 +258,11 @@ mod tests {
             let mut group = 0.0f32;
             for (c, &coeff) in chunk.iter().enumerate() {
                 let idx = g * 4 + c;
-                let v = if idx < cols.len() { cols[idx][row] as f32 } else { 0.0 };
+                let v = if idx < cols.len() {
+                    cols[idx][row] as f32
+                } else {
+                    0.0
+                };
                 group += coeff * v;
             }
             total += group;
@@ -445,8 +449,7 @@ mod tests {
         let y: Vec<u32> = (0..200u32).map(|i| (i * 37) % 100).collect();
         let (mut gpu, t) = setup(&[("x", &x), ("y", &y)]);
         let r2 = 50.0f32 * 50.0;
-        let (_, count) =
-            polynomial_select(&mut gpu, &t, &[1.0, 1.0], &[], LessEqual, r2).unwrap();
+        let (_, count) = polynomial_select(&mut gpu, &t, &[1.0, 1.0], &[], LessEqual, r2).unwrap();
         let expected = (0..200)
             .filter(|&i| {
                 let (fx, fy) = (x[i] as f32, y[i] as f32);

@@ -133,8 +133,8 @@ pub fn sort_values(gpu: &mut Gpu, values: &[u32]) -> EngineResult<SortOutcome> {
     gpu.set_phase(Phase::Upload);
     let mut data: Vec<f32> = values.iter().map(|&v| v as f32).collect();
     data.resize(padded, PAD_SENTINEL);
-    let texture = Texture::from_data(width, height, TextureFormat::R, data)
-        .map_err(EngineError::from)?;
+    let texture =
+        Texture::from_data(width, height, TextureFormat::R, data).map_err(EngineError::from)?;
     let tex_id = gpu.create_texture(texture)?;
 
     gpu.set_phase(Phase::Compute);
@@ -197,7 +197,9 @@ mod tests {
 
     #[test]
     fn sorts_exact_power_of_two() {
-        let values: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        let values: Vec<u32> = (0..64u32)
+            .map(|i| i.wrapping_mul(2654435761) % 1000)
+            .collect();
         check_sort(&values);
     }
 

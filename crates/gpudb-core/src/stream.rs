@@ -38,7 +38,11 @@ pub struct StreamWindow {
 impl StreamWindow {
     /// Create an empty window of `capacity` records on the device. The
     /// device framebuffer must cover the window grid.
-    pub fn new(gpu: &mut Gpu, name: impl Into<String>, capacity: usize) -> EngineResult<StreamWindow> {
+    pub fn new(
+        gpu: &mut Gpu,
+        name: impl Into<String>,
+        capacity: usize,
+    ) -> EngineResult<StreamWindow> {
         if capacity == 0 {
             return Err(EngineError::InvalidQuery(
                 "stream window capacity must be positive".to_string(),
@@ -152,7 +156,11 @@ impl StreamWindow {
     pub fn count(&self, gpu: &mut Gpu, op: CompareFunc, constant: u32) -> EngineResult<u64> {
         let raw = compare_count(gpu, &self.table, 0, op, constant)?;
         // Stale texels hold 0: subtract their contribution.
-        let stale_match = if op.eval(0u32, constant) { self.stale() } else { 0 };
+        let stale_match = if op.eval(0u32, constant) {
+            self.stale()
+        } else {
+            0
+        };
         Ok(raw - stale_match)
     }
 
@@ -239,7 +247,9 @@ mod tests {
 
         let mut next = 1u32;
         for batch_size in [5usize, 7, 20, 3, 40, 1, 13] {
-            let batch: Vec<u32> = (0..batch_size as u32).map(|i| (next + i) * 3 % 1000).collect();
+            let batch: Vec<u32> = (0..batch_size as u32)
+                .map(|i| (next + i) * 3 % 1000)
+                .collect();
             next += batch_size as u32;
             w.push(&mut gpu, &batch).unwrap();
             mirror.push(&batch);
@@ -330,8 +340,14 @@ mod tests {
             w.push(&mut gpu, &[1 << 24]).unwrap_err(),
             EngineError::AttributeTooWide { .. }
         ));
-        assert!(matches!(w.max(&mut gpu).unwrap_err(), EngineError::EmptyInput));
-        assert!(matches!(w.median(&mut gpu).unwrap_err(), EngineError::EmptyInput));
+        assert!(matches!(
+            w.max(&mut gpu).unwrap_err(),
+            EngineError::EmptyInput
+        ));
+        assert!(matches!(
+            w.median(&mut gpu).unwrap_err(),
+            EngineError::EmptyInput
+        ));
         let base = gpu.vram_used();
         w.free(&mut gpu).unwrap();
         assert!(gpu.vram_used() < base);

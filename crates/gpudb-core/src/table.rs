@@ -104,8 +104,8 @@ impl GpuTable {
                     data[i * channels + channel] = v as f32;
                 }
             }
-            let texture = Texture::from_data(width, height, format, data)
-                .map_err(EngineError::from)?;
+            let texture =
+                Texture::from_data(width, height, format, data).map_err(EngineError::from)?;
             let id = gpu.create_texture(texture)?;
             textures.push(id);
             for (channel, (col_name, values)) in group.iter().enumerate() {
@@ -316,7 +316,10 @@ mod tests {
         let mut gpu = GpuTable::device_for(2, 2);
         let a = vec![1u32 << 24];
         let err = GpuTable::upload(&mut gpu, "t", &[("a", &a)]).unwrap_err();
-        assert!(matches!(err, EngineError::AttributeTooWide { bits: 25, .. }));
+        assert!(matches!(
+            err,
+            EngineError::AttributeTooWide { bits: 25, .. }
+        ));
     }
 
     #[test]

@@ -77,10 +77,7 @@ impl OpTiming {
 }
 
 /// Run `op` against the device and capture its timing breakdown.
-pub fn measure<T>(
-    gpu: &mut Gpu,
-    op: impl FnOnce(&mut Gpu) -> T,
-) -> (T, OpTiming) {
+pub fn measure<T>(gpu: &mut Gpu, op: impl FnOnce(&mut Gpu) -> T) -> (T, OpTiming) {
     let before = gpu.stats().modeled;
     let wall_before = std::time::Instant::now();
     let result = op(gpu);

@@ -104,7 +104,9 @@ mod tests {
     #[test]
     fn sum_matches_iter_reference() {
         for len in [0usize, 1, 3, 4, 5, 100, 1003] {
-            let values: Vec<u32> = (0..len as u32).map(|i| i.wrapping_mul(2654435761) >> 8).collect();
+            let values: Vec<u32> = (0..len as u32)
+                .map(|i| i.wrapping_mul(2654435761) >> 8)
+                .collect();
             let expected: u64 = values.iter().map(|&v| v as u64).sum();
             assert_eq!(sum(&values), expected, "len {len}");
         }

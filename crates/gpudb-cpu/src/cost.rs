@@ -172,8 +172,7 @@ mod tests {
     fn semilinear_scales_with_attribute_count() {
         let cpu = CpuCostModel::xeon_2004();
         assert!(
-            (cpu.semilinear_seconds(1000, 8) / cpu.semilinear_seconds(1000, 4) - 2.0).abs()
-                < 1e-9
+            (cpu.semilinear_seconds(1000, 8) / cpu.semilinear_seconds(1000, 4) - 2.0).abs() < 1e-9
         );
     }
 }

@@ -80,7 +80,9 @@ mod tests {
 
     #[test]
     fn parallel_scan_matches_sequential() {
-        let values: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(2654435761) % 1000).collect();
+        let values: Vec<u32> = (0..200_000u32)
+            .map(|i| i.wrapping_mul(2654435761) % 1000)
+            .collect();
         for threads in [1, 2, 4, 8] {
             let par = par_scan_u32(&values, CmpOp::Ge, 400, threads);
             let seq = scan_u32(&values, CmpOp::Ge, 400);

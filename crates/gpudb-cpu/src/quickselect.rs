@@ -132,7 +132,9 @@ mod tests {
 
     #[test]
     fn kth_largest_matches_sort_reference() {
-        let data: Vec<u32> = (0..500).map(|i: u32| i.wrapping_mul(2654435761) % 1000).collect();
+        let data: Vec<u32> = (0..500)
+            .map(|i: u32| i.wrapping_mul(2654435761) % 1000)
+            .collect();
         for k in [1, 2, 5, 100, 250, 499, 500] {
             assert_eq!(
                 kth_largest(&data, k),
@@ -195,7 +197,9 @@ mod tests {
 
     #[test]
     fn stats_report_linear_work() {
-        let data: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let data: Vec<u32> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
         let (value, stats) = kth_largest_instrumented(&data, 50_000);
         assert_eq!(value, reference_kth_largest(&data, 50_000));
         assert!(stats.partitions > 0);

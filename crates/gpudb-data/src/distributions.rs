@@ -98,7 +98,9 @@ mod tests {
     #[test]
     fn lognormal_clamped_and_skewed() {
         let mut r = rng();
-        let samples: Vec<u32> = (0..20_000).map(|_| lognormal(&mut r, 9.0, 1.5, MAX_ATTRIBUTE)).collect();
+        let samples: Vec<u32> = (0..20_000)
+            .map(|_| lognormal(&mut r, 9.0, 1.5, MAX_ATTRIBUTE))
+            .collect();
         assert!(samples.iter().all(|&v| v <= MAX_ATTRIBUTE));
         let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
         let mut sorted = samples.clone();

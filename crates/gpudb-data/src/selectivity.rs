@@ -46,11 +46,8 @@ pub fn range_for_selectivity(values: &[u32], target: f64) -> Option<(u32, u32, f
     let margin = (1.0 - target.clamp(0.0, 1.0)) / 2.0;
     let low = percentile(values, margin)?;
     let high = percentile(values, 1.0 - margin)?;
-    let achieved = values
-        .iter()
-        .filter(|&&v| v >= low && v <= high)
-        .count() as f64
-        / values.len() as f64;
+    let achieved =
+        values.iter().filter(|&&v| v >= low && v <= high).count() as f64 / values.len() as f64;
     Some((low, high, achieved))
 }
 

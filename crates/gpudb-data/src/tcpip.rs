@@ -102,11 +102,7 @@ mod tests {
         let bits = ds.column("data_count").unwrap().bits_required();
         assert_eq!(bits, DATA_COUNT_BITS, "largest value should need 19 bits");
         let mean = dc.iter().map(|&v| v as f64).sum::<f64>() / dc.len() as f64;
-        let var = dc
-            .iter()
-            .map(|&v| (v as f64 - mean).powi(2))
-            .sum::<f64>()
-            / dc.len() as f64;
+        let var = dc.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / dc.len() as f64;
         let cv = var.sqrt() / mean;
         assert!(cv > 1.0, "coefficient of variation {cv} not high-variance");
     }

@@ -257,7 +257,16 @@ mod tests {
         // Every attribute encoding k * 2^-24 must round-trip exactly —
         // including when the normalization is performed in f32, as the
         // CopyToDepth fragment program does.
-        for k in [0u32, 1, 2, 12345, 1 << 20, (1 << 23) + 1, DEPTH_MAX - 1, DEPTH_MAX] {
+        for k in [
+            0u32,
+            1,
+            2,
+            12345,
+            1 << 20,
+            (1 << 23) + 1,
+            DEPTH_MAX - 1,
+            DEPTH_MAX,
+        ] {
             let d = k as f64 / DEPTH_SCALE;
             assert_eq!(quantize_depth(d), k, "k = {k} (f64 path)");
             let d32 = k as f32 * (1.0f32 / DEPTH_SCALE as f32);

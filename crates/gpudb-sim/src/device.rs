@@ -399,8 +399,7 @@ impl Gpu {
         // Validate that every texture unit the program samples is bound.
         if let Some(program) = &self.program {
             for unit in 0..NUM_TEXTURE_UNITS {
-                if program.texture_units & (1 << unit) != 0 && self.bound_textures[unit].is_none()
-                {
+                if program.texture_units & (1 << unit) != 0 && self.bound_textures[unit].is_none() {
                     return Err(GpuError::UnboundTextureUnit(unit));
                 }
             }
@@ -826,7 +825,10 @@ mod tests {
         let tex4 = Texture::zeroed(4, 2, TextureFormat::Rgba).unwrap();
         let id4 = gpu.create_texture(tex4).unwrap();
         gpu.copy_color_to_texture(id4, 0, 0, 4, 2).unwrap();
-        assert_eq!(gpu.texture(id4).unwrap().fetch(3, 1), [0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(
+            gpu.texture(id4).unwrap().fetch(3, 1),
+            [0.25, 0.5, 0.75, 1.0]
+        );
     }
 
     #[test]
@@ -857,11 +859,7 @@ mod tests {
             .set_depth_compare_mask(crate::state::DEPTH_COMPARE_MASK_ALL)
             .is_ok());
 
-        let mut gpu = Gpu::new(
-            HardwareProfile::geforce_fx_5900_with_depth_mask(),
-            4,
-            1,
-        );
+        let mut gpu = Gpu::new(HardwareProfile::geforce_fx_5900_with_depth_mask(), 4, 1);
         gpu.set_depth_compare_mask(0b100).unwrap();
         assert_eq!(gpu.state().depth.compare_mask, 0b100);
     }

@@ -84,10 +84,7 @@ impl fmt::Display for GpuError {
                 rect,
                 width,
                 height,
-            } => write!(
-                f,
-                "draw rect {rect:?} outside framebuffer {width}x{height}"
-            ),
+            } => write!(f, "draw rect {rect:?} outside framebuffer {width}x{height}"),
             GpuError::OcclusionQueryMisuse(msg) => write!(f, "occlusion query misuse: {msg}"),
             GpuError::InvalidParameterIndex(i) => write!(f, "invalid parameter index {i}"),
             GpuError::UnsupportedFeature(feature) => {

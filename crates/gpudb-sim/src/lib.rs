@@ -60,13 +60,13 @@ pub mod buffers;
 pub mod cost;
 pub mod device;
 pub mod error;
+mod mipmap;
 mod pipeline;
 pub mod program;
 pub mod raster;
 pub mod state;
 pub mod stats;
 pub mod texture;
-mod mipmap;
 
 pub use cost::{DrawCost, HardwareProfile};
 pub use device::Gpu;
@@ -74,5 +74,5 @@ pub use error::{GpuError, GpuResult};
 pub use mipmap::MipmapReduction;
 pub use raster::Rect;
 pub use state::{CompareFunc, StencilOp};
-pub use stats::{GpuStats, Phase, PhaseTimes};
+pub use stats::{GpuStats, Phase, PhaseTimes, WorkCounters};
 pub use texture::{Texture, TextureFormat, TextureId};

@@ -108,7 +108,6 @@ impl Gpu {
             modeled_seconds: modeled,
         })
     }
-
 }
 
 #[cfg(test)]
@@ -151,9 +150,7 @@ mod tests {
         // perturbations demonstrate the drift.
         let mut gpu = Gpu::geforce_fx_5900(64, 64);
         let n = 64 * 64;
-        let values: Vec<f32> = (0..n)
-            .map(|i| ((1 << 23) + (i % 7) + 1) as f32)
-            .collect();
+        let values: Vec<f32> = (0..n).map(|i| ((1 << 23) + (i % 7) + 1) as f32).collect();
         let exact: f64 = values.iter().map(|&v| v as f64).sum();
         let id = upload(&mut gpu, 64, 64, values);
         let r = gpu.mipmap_sum(id, 0, 1.0).unwrap();

@@ -129,8 +129,7 @@ fn run_tests(
 
     // 4. Depth bounds test: inspects the *stored* framebuffer depth and
     // discards without any stencil update (per the EXT spec).
-    if state.depth_bounds.enabled && !state.depth_bounds.test(dequantize_depth(band.depth[idx]))
-    {
+    if state.depth_bounds.enabled && !state.depth_bounds.test(dequantize_depth(band.depth[idx])) {
         return TestOutcome::Fail;
     }
 
@@ -274,7 +273,13 @@ mod tests {
         }
     }
 
-    fn run_one(env: &PipelineEnv<'_>, fb: &mut Framebuffer, x: usize, y: usize, idx: usize) -> FragmentFate {
+    fn run_one(
+        env: &PipelineEnv<'_>,
+        fb: &mut Framebuffer,
+        x: usize,
+        y: usize,
+        idx: usize,
+    ) -> FragmentFate {
         let mut band = FbBand::full(fb);
         process_fragment(env, &mut band, x, y, idx)
     }

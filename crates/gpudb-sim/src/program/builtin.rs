@@ -184,10 +184,7 @@ mod tests {
                 let out = run_on_value(&prog, value, &mut env);
                 let dot = 2.0 * value;
                 let expected_pass = op.eval(dot, b);
-                assert_eq!(
-                    !out.killed, expected_pass,
-                    "op {op:?}, dot {dot}, b {b}"
-                );
+                assert_eq!(!out.killed, expected_pass, "op {op:?}, dot {dot}, b {b}");
             }
         }
     }

@@ -135,12 +135,7 @@ pub fn execute(
 }
 
 #[inline(always)]
-fn eval_alu(
-    op: Opcode,
-    a: Option<[f32; 4]>,
-    b: Option<[f32; 4]>,
-    c: Option<[f32; 4]>,
-) -> [f32; 4] {
+fn eval_alu(op: Opcode, a: Option<[f32; 4]>, b: Option<[f32; 4]>, c: Option<[f32; 4]>) -> [f32; 4] {
     let a = a.unwrap_or([0.0; 4]);
     match op {
         Opcode::Mov => a,
@@ -267,7 +262,11 @@ mod tests {
 
     #[test]
     fn mov_literal_to_color() {
-        let out = run("MOV result.color, {0.25, 0.5, 0.75, 1.0};", default_input(), &[]);
+        let out = run(
+            "MOV result.color, {0.25, 0.5, 0.75, 1.0};",
+            default_input(),
+            &[],
+        );
         assert_eq!(out.color, [0.25, 0.5, 0.75, 1.0]);
         assert!(!out.killed);
         assert_eq!(out.depth, None);
@@ -306,7 +305,11 @@ mod tests {
 
     #[test]
     fn frc_extracts_fraction() {
-        let out = run("FRC R0, {1.75, -0.25, 3.0, 0.5}; MOV result.color, R0;", default_input(), &[]);
+        let out = run(
+            "FRC R0, {1.75, -0.25, 3.0, 0.5}; MOV result.color, R0;",
+            default_input(),
+            &[],
+        );
         assert_eq!(out.color, [0.75, 0.75, 0.0, 0.5]);
     }
 
@@ -333,7 +336,11 @@ mod tests {
 
     #[test]
     fn scalar_ops_broadcast() {
-        let out = run("RCP R0, {4.0, 9.0, 9.0, 9.0}; MOV result.color, R0;", default_input(), &[]);
+        let out = run(
+            "RCP R0, {4.0, 9.0, 9.0, 9.0}; MOV result.color, R0;",
+            default_input(),
+            &[],
+        );
         assert_eq!(out.color, [0.25; 4]);
         let out = run("RSQ R0, {4.0}; MOV result.color, R0;", default_input(), &[]);
         assert_eq!(out.color, [0.5; 4]);
@@ -341,7 +348,11 @@ mod tests {
         assert_eq!(out.color, [8.0; 4]);
         let out = run("LG2 R0, {8.0}; MOV result.color, R0;", default_input(), &[]);
         assert_eq!(out.color, [3.0; 4]);
-        let out = run("POW R0, {2.0}, {10.0}; MOV result.color, R0;", default_input(), &[]);
+        let out = run(
+            "POW R0, {2.0}, {10.0}; MOV result.color, R0;",
+            default_input(),
+            &[],
+        );
         assert_eq!(out.color, [1024.0; 4]);
     }
 
@@ -357,9 +368,17 @@ mod tests {
 
     #[test]
     fn kil_on_negative_component() {
-        let out = run("KIL {1.0, 1.0, -0.001, 1.0}; MOV result.color, {1.0};", default_input(), &[]);
+        let out = run(
+            "KIL {1.0, 1.0, -0.001, 1.0}; MOV result.color, {1.0};",
+            default_input(),
+            &[],
+        );
         assert!(out.killed);
-        let out = run("KIL {0.0, 0.0, 0.0, 0.0}; MOV result.color, {1.0};", default_input(), &[]);
+        let out = run(
+            "KIL {0.0, 0.0, 0.0, 0.0}; MOV result.color, {1.0};",
+            default_input(),
+            &[],
+        );
         assert!(!out.killed, "zero is not negative: fragment survives");
         assert_eq!(out.color, [1.0; 4]);
     }
@@ -367,7 +386,11 @@ mod tests {
     #[test]
     fn kil_negated_source() {
         // KIL -R0.x kills when R0.x > 0
-        let out = run("MOV R0, {0.5}; KIL -R0.x; MOV result.color, {1.0};", default_input(), &[]);
+        let out = run(
+            "MOV R0, {0.5}; KIL -R0.x; MOV result.color, {1.0};",
+            default_input(),
+            &[],
+        );
         assert!(out.killed);
     }
 
@@ -401,8 +424,7 @@ mod tests {
 
     #[test]
     fn tex_clamps_to_edge() {
-        let tex =
-            Texture::from_data(2, 1, TextureFormat::R, vec![5.0, 7.0]).unwrap();
+        let tex = Texture::from_data(2, 1, TextureFormat::R, vec![5.0, 7.0]).unwrap();
         let mut input = default_input();
         input.texcoord[0] = [100.0, -3.0, 0.0, 0.0];
         let out = run(
@@ -416,10 +438,18 @@ mod tests {
     #[test]
     fn result_depth_takes_z_channel() {
         // Broadcast swizzle: all channels = R0.x, so z == R0.x.
-        let out = run("MOV R0, {0.25, 0.5, 0.75, 1.0}; MOV result.depth, R0.x;", default_input(), &[]);
+        let out = run(
+            "MOV R0, {0.25, 0.5, 0.75, 1.0}; MOV result.depth, R0.x;",
+            default_input(),
+            &[],
+        );
         assert_eq!(out.depth, Some(0.25));
         // Without broadcast, the z channel is what lands in depth.
-        let out = run("MOV result.depth, {0.1, 0.2, 0.3, 0.4};", default_input(), &[]);
+        let out = run(
+            "MOV result.depth, {0.1, 0.2, 0.3, 0.4};",
+            default_input(),
+            &[],
+        );
         assert_eq!(out.depth, Some(0.3));
     }
 
@@ -449,11 +479,7 @@ mod tests {
     #[test]
     fn kil_short_circuits_execution() {
         // Instructions after a taken KIL must not affect output.
-        let out = run(
-            "KIL {-1.0}; MOV result.depth, {0.5};",
-            default_input(),
-            &[],
-        );
+        let out = run("KIL {-1.0}; MOV result.depth, {0.5};", default_input(), &[]);
         assert!(out.killed);
         assert_eq!(out.depth, None);
     }

@@ -124,9 +124,7 @@ impl<'a> Assembler<'a> {
                 return Err(err(format!("duplicate declaration of {name:?}")));
             }
             if self.next_temp >= NUM_TEMPS {
-                return Err(err(format!(
-                    "too many temporaries (max {NUM_TEMPS})"
-                )));
+                return Err(err(format!("too many temporaries (max {NUM_TEMPS})")));
             }
             self.temps.insert(name.to_string(), self.next_temp);
             self.next_temp += 1;
@@ -177,8 +175,8 @@ impl<'a> Assembler<'a> {
     }
 
     fn parse_instruction(&mut self, head: &str, rest: &str) -> GpuResult<()> {
-        let op = Opcode::from_mnemonic(head)
-            .ok_or_else(|| err(format!("unknown opcode {head:?}")))?;
+        let op =
+            Opcode::from_mnemonic(head).ok_or_else(|| err(format!("unknown opcode {head:?}")))?;
         let operands = split_operands(rest);
 
         match op {
@@ -208,7 +206,8 @@ impl<'a> Assembler<'a> {
                 if target != "2D" {
                     return Err(err(format!("unsupported texture target {target:?}")));
                 }
-                self.instructions.push(Instruction::Tex { dst, coord, unit });
+                self.instructions
+                    .push(Instruction::Tex { dst, coord, unit });
             }
             _ => {
                 let expected = 1 + op.arity();
@@ -456,9 +455,12 @@ fn split_src_suffix(text: &str) -> (&str, Option<&str>) {
         let suffix = &text[i + 1..];
         if !suffix.is_empty()
             && suffix.len() <= 4
-            && suffix
-                .chars()
-                .all(|c| matches!(c.to_ascii_lowercase(), 'x' | 'y' | 'z' | 'w' | 'r' | 'g' | 'b' | 'a'))
+            && suffix.chars().all(|c| {
+                matches!(
+                    c.to_ascii_lowercase(),
+                    'x' | 'y' | 'z' | 'w' | 'r' | 'g' | 'b' | 'a'
+                )
+            })
         {
             return (&text[..i], Some(suffix));
         }

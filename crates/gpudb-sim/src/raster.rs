@@ -248,10 +248,7 @@ mod tests {
     #[test]
     fn covering_prefix_with_remainder() {
         let rects = Rect::covering_prefix(23, 5);
-        assert_eq!(
-            rects,
-            vec![Rect::new(0, 0, 5, 4), Rect::new(0, 4, 3, 1)]
-        );
+        assert_eq!(rects, vec![Rect::new(0, 0, 5, 4), Rect::new(0, 4, 3, 1)]);
         assert_eq!(rects.iter().map(Rect::area).sum::<usize>(), 23);
     }
 

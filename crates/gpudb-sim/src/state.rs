@@ -312,10 +312,7 @@ impl ScissorState {
     #[inline(always)]
     pub fn contains(&self, x: usize, y: usize) -> bool {
         !self.enabled
-            || (x >= self.x
-                && y >= self.y
-                && x - self.x < self.width
-                && y - self.y < self.height)
+            || (x >= self.x && y >= self.y && x - self.x < self.width && y - self.y < self.height)
     }
 }
 
@@ -400,7 +397,16 @@ mod tests {
     #[test]
     fn converse_flips_operand_order() {
         use CompareFunc::*;
-        for op in [Never, Less, Equal, LessEqual, Greater, NotEqual, GreaterEqual, Always] {
+        for op in [
+            Never,
+            Less,
+            Equal,
+            LessEqual,
+            Greater,
+            NotEqual,
+            GreaterEqual,
+            Always,
+        ] {
             for a in 0..4 {
                 for b in 0..4 {
                     assert_eq!(op.eval(a, b), op.converse().eval(b, a), "{op:?} {a} {b}");
@@ -412,7 +418,16 @@ mod tests {
     #[test]
     fn negate_is_logical_complement() {
         use CompareFunc::*;
-        for op in [Never, Less, Equal, LessEqual, Greater, NotEqual, GreaterEqual, Always] {
+        for op in [
+            Never,
+            Less,
+            Equal,
+            LessEqual,
+            Greater,
+            NotEqual,
+            GreaterEqual,
+            Always,
+        ] {
             for a in 0..4 {
                 for b in 0..4 {
                     assert_eq!(op.eval(a, b), !op.negate().eval(a, b), "{op:?} {a} {b}");

@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(TextureFormat::Rg.channels(), 2);
         assert_eq!(TextureFormat::Rgb.channels(), 3);
         assert_eq!(TextureFormat::Rgba.channels(), 4);
-        assert_eq!(TextureFormat::from_channels(4).unwrap(), TextureFormat::Rgba);
+        assert_eq!(
+            TextureFormat::from_channels(4).unwrap(),
+            TextureFormat::Rgba
+        );
         assert!(TextureFormat::from_channels(5).is_err());
         assert!(TextureFormat::from_channels(0).is_err());
     }
@@ -292,7 +295,8 @@ mod tests {
     #[test]
     fn sub_image_update() {
         let mut tex = Texture::zeroed(4, 4, TextureFormat::R).unwrap();
-        tex.update_sub_image(1, 1, 2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        tex.update_sub_image(1, 1, 2, 2, &[1.0, 2.0, 3.0, 4.0])
+            .unwrap();
         assert_eq!(tex.fetch_channel(1, 1, 0), 1.0);
         assert_eq!(tex.fetch_channel(2, 1, 0), 2.0);
         assert_eq!(tex.fetch_channel(1, 2, 0), 3.0);

@@ -32,13 +32,7 @@ fn main() -> EngineResult<()> {
 
     // --- Income histogram: one copy + one depth-bounds pass per bucket ---
     let (buckets, timing) = measure(&mut gpu, |gpu| {
-        olap::histogram(
-            gpu,
-            &table,
-            income,
-            &olap::equi_width_edges(0, 12_000, 12),
-        )
-        .unwrap()
+        olap::histogram(gpu, &table, income, &olap::equi_width_edges(0, 12_000, 12)).unwrap()
     });
     let max_count = buckets.iter().map(|b| b.count).max().unwrap_or(1);
     println!(
@@ -57,16 +51,14 @@ fn main() -> EngineResult<()> {
     }
 
     // --- GROUP BY household_size: the data-cube roll-up ---
-    let rollup = olap::group_by_aggregate(
-        &mut gpu,
-        &table,
-        household,
-        income,
-        GroupAggregate::Avg,
-    )?;
+    let rollup =
+        olap::group_by_aggregate(&mut gpu, &table, household, income, GroupAggregate::Avg)?;
     let counts = olap::group_by_count(&mut gpu, &table, household)?;
     println!("\nGROUP BY household_size -> COUNT(*), AVG(monthly_income):");
-    println!("  {:<16} {:>8} {:>12}", "household_size", "count", "avg income");
+    println!(
+        "  {:<16} {:>8} {:>12}",
+        "household_size", "count", "avg income"
+    );
     for ((size, avg), (_, count)) in rollup.iter().zip(&counts) {
         let avg = match avg {
             AggValue::Avg(v) => *v,
@@ -78,11 +70,7 @@ fn main() -> EngineResult<()> {
     // --- Out-of-core: the same dataset, but streamed through a device
     //     whose framebuffer only holds 20k records at a time (§6.1) ---
     println!("\nout-of-core pass (20k-record chunks through a small device):");
-    let chunked = ChunkedTable::new(
-        "census_stream",
-        cols.clone(),
-        20_000,
-    )?;
+    let chunked = ChunkedTable::new("census_stream", cols.clone(), 20_000)?;
     let mut small_gpu = chunked.device_for_chunks(200);
     let rich = chunked.count(&mut small_gpu, income, CompareFunc::GreaterEqual, 8_000)?;
     let total_income = chunked.sum(&mut small_gpu, income)?;
@@ -102,8 +90,14 @@ fn main() -> EngineResult<()> {
     let (_, rich_whole) =
         compare_select(&mut gpu, &table, income, CompareFunc::GreaterEqual, 8_000)?;
     assert_eq!(rich, rich_whole);
-    assert_eq!(total_income, aggregate::sum(&mut gpu, &table, income, None)?);
-    assert_eq!(median_income, aggregate::median(&mut gpu, &table, income, None)?);
+    assert_eq!(
+        total_income,
+        aggregate::sum(&mut gpu, &table, income, None)?
+    );
+    assert_eq!(
+        median_income,
+        aggregate::median(&mut gpu, &table, income, None)?
+    );
     println!("\nout-of-core results match the in-core run ✓");
     Ok(())
 }

@@ -51,10 +51,10 @@ pub mod prelude {
     pub use gpudb_core::olap;
     pub use gpudb_core::out_of_core::ChunkedTable;
     pub use gpudb_core::predicate::{compare_count, compare_many, compare_select};
-    pub use gpudb_core::stream::StreamWindow;
     pub use gpudb_core::query::{execute, parse, Aggregate, BoolExpr, Query};
     pub use gpudb_core::range::{range_count, range_select};
     pub use gpudb_core::semilinear::{compare_attributes, semilinear_select};
+    pub use gpudb_core::stream::StreamWindow;
     pub use gpudb_core::table::GpuTable;
     pub use gpudb_core::timing::{measure, OpTiming};
     pub use gpudb_core::{EngineError, EngineResult, Selection};

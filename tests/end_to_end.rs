@@ -75,11 +75,7 @@ fn range_and_cnf_agree_with_cpu() {
             GpuPredicate::new(0, CompareFunc::Less, 1000),
             GpuPredicate::new(1, CompareFunc::Greater, 0),
         ]),
-        gpudb::core::boolean::GpuClause::single(GpuPredicate::new(
-            3,
-            CompareFunc::LessEqual,
-            10,
-        )),
+        gpudb::core::boolean::GpuClause::single(GpuPredicate::new(3, CompareFunc::LessEqual, 10)),
     ]);
     let (gpu_sel, gpu_count) =
         gpudb::core::boolean::eval_cnf_select(&mut gpu, &table, &gpu_cnf).unwrap();
@@ -155,8 +151,7 @@ fn semilinear_and_attribute_comparison() {
     );
 
     // data_loss <= retransmissions via the a_i op a_j rewrite.
-    let (_, count) =
-        compare_attributes(&mut gpu, &table, 1, 3, CompareFunc::LessEqual).unwrap();
+    let (_, count) = compare_attributes(&mut gpu, &table, 1, 3, CompareFunc::LessEqual).unwrap();
     let expected = (0..trace.record_count())
         .filter(|&i| raw[1][i] <= raw[3][i])
         .count() as u64;

@@ -13,7 +13,10 @@ fn vram_exhaustion_is_reported_not_panicked() {
     let values: Vec<u32> = (0..1_000).collect();
     let err = GpuTable::upload(&mut gpu, "t", &[("a", &values)]).unwrap_err();
     match err {
-        EngineError::Gpu(GpuError::OutOfVideoMemory { requested, available }) => {
+        EngineError::Gpu(GpuError::OutOfVideoMemory {
+            requested,
+            available,
+        }) => {
             assert!(requested > available);
         }
         other => panic!("unexpected error {other:?}"),
@@ -42,7 +45,10 @@ fn out_of_core_fallback_pattern() {
         matches += count;
         table.free(&mut gpu).unwrap();
     }
-    assert_eq!(matches, values.iter().filter(|&&v| v >= 15_000).count() as u64);
+    assert_eq!(
+        matches,
+        values.iter().filter(|&&v| v >= 15_000).count() as u64
+    );
 }
 
 #[test]
@@ -79,11 +85,17 @@ fn invalid_k_and_empty_domains() {
 
     assert!(matches!(
         aggregate::kth_largest(&mut gpu, &table, 0, 0, None).unwrap_err(),
-        EngineError::InvalidK { k: 0, available: 10 }
+        EngineError::InvalidK {
+            k: 0,
+            available: 10
+        }
     ));
     assert!(matches!(
         aggregate::kth_largest(&mut gpu, &table, 0, 11, None).unwrap_err(),
-        EngineError::InvalidK { k: 11, available: 10 }
+        EngineError::InvalidK {
+            k: 11,
+            available: 10
+        }
     ));
 
     // An empty selection turns every order statistic into an error.
@@ -111,14 +123,8 @@ fn column_lookup_failures() {
         EngineError::ColumnNotFound(_)
     ));
     assert!(matches!(
-        gpudb::core::predicate::compare_select(
-            &mut gpu,
-            &table,
-            5,
-            CompareFunc::Less,
-            1
-        )
-        .unwrap_err(),
+        gpudb::core::predicate::compare_select(&mut gpu, &table, 5, CompareFunc::Less, 1)
+            .unwrap_err(),
         EngineError::ColumnIndexOutOfRange(5)
     ));
 }
@@ -191,8 +197,7 @@ fn device_survives_interleaved_errors() {
     for _ in 0..3 {
         let _ = aggregate::kth_largest(&mut gpu, &table, 0, 999, None).unwrap_err();
         let _ = gpu.bind_program_source("BROKEN").unwrap_err();
-        let (_, count) =
-            compare_select(&mut gpu, &table, 0, CompareFunc::Less, 25).unwrap();
+        let (_, count) = compare_select(&mut gpu, &table, 0, CompareFunc::Less, 25).unwrap();
         assert_eq!(count, 25);
     }
 }

@@ -1,0 +1,594 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The [`proptest!`] macro expands each property into a normal `#[test]`
+//! that draws `config.cases` deterministic random inputs (seeded from the
+//! test's name, so runs are reproducible across machines) and executes the
+//! body. There is **no shrinking**: a failing case panics with the case
+//! number so it can be replayed by re-running the test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod sample;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test random source.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a), so every run draws the same cases.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Access the underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Why a property case failed. Bodies may `return Err(TestCaseError::fail(..))`
+/// or `return Ok(())` early, as with the real crate.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for this case.
+    Fail(String),
+    /// The drawn input is outside the property's domain.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "property failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "input rejected: {reason}"),
+        }
+    }
+}
+
+/// A generator of random values (no shrinking in the shim).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf; `branch` receives a
+    /// strategy for the previous depth level and returns the composite
+    /// level. `depth` bounds the recursion; the size/branch hints of the
+    /// real crate are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = one_of(vec![leaf.clone(), branch(level).boxed()]);
+        }
+        level
+    }
+}
+
+/// Object-safe strategy view used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A clonable type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (backs `prop_oneof!`).
+pub fn one_of<T>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: 'static,
+{
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+    OneOf { choices }.boxed()
+}
+
+struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.rng().gen_range(0..self.choices.len());
+        self.choices[idx].generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+// ----------------------------------------------------------------- `any`
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().gen::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy for any value of `T` (`any::<u32>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ----------------------------------------------------------- range + tuple
+
+macro_rules! strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_for_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_float_ranges!(f32, f64);
+
+// A `&str` strategy is a generation pattern (tiny subset of the real
+// crate's regex support): literal chars, `.`/`\PC` (printable char),
+// `\d`, `\w`, `\s` classes, and `{m,n}` / `{n}` / `*` / `+` / `?`
+// quantifiers on the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom: fn(&mut TestRng) -> char = match c {
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC`: any printable char (ASCII + a little UTF-8).
+                        assert_eq!(chars.next(), Some('C'), "unsupported \\P class");
+                        |rng| sample_printable(rng)
+                    }
+                    Some('d') => |rng| (b'0' + rng.rng().gen_range(0u8..10)) as char,
+                    Some('w') => |rng| {
+                        const WORD: &[u8] =
+                            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+                        WORD[rng.rng().gen_range(0..WORD.len())] as char
+                    },
+                    Some('s') => |rng| {
+                        const WS: &[u8] = b" \t\n";
+                        WS[rng.rng().gen_range(0..WS.len())] as char
+                    },
+                    Some(esc) => {
+                        // Escaped literal: emit it directly (no quantifier fn).
+                        emit_repeated(&mut out, &mut chars, rng, move |_| esc);
+                        continue;
+                    }
+                    None => panic!("dangling escape in pattern {self:?}"),
+                },
+                '.' => |rng| sample_printable(rng),
+                lit => {
+                    emit_repeated(&mut out, &mut chars, rng, move |_| lit);
+                    continue;
+                }
+            };
+            emit_repeated(&mut out, &mut chars, rng, atom);
+        }
+        out
+    }
+}
+
+/// Any printable character; mostly ASCII with some multi-byte UTF-8 mixed
+/// in so consumers see non-trivial encodings.
+fn sample_printable(rng: &mut TestRng) -> char {
+    const EXOTIC: [char; 8] = ['é', 'λ', 'Ж', '→', '√', '你', '𝕏', '🙂'];
+    if rng.rng().gen_bool(0.9) {
+        (0x20u8 + rng.rng().gen_range(0u8..0x5F)) as char
+    } else {
+        EXOTIC[rng.rng().gen_range(0..EXOTIC.len())]
+    }
+}
+
+/// Read an optional quantifier after an atom and emit that many samples.
+fn emit_repeated<F: Fn(&mut TestRng) -> char>(
+    out: &mut String,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    rng: &mut TestRng,
+    atom: F,
+) {
+    let (low, high) = match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((low, high)) => (low.parse().unwrap(), high.parse().unwrap()),
+                None => {
+                    let n: usize = spec.parse().unwrap();
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    };
+    let count = rng.rng().gen_range(low..=high);
+    for _ in 0..count {
+        out.push(atom(rng));
+    }
+}
+
+macro_rules! strategy_for_tuples {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// ----------------------------------------------------------------- macros
+
+/// Declare deterministic property tests (shim of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                // Like the real crate, the body runs in a closure returning
+                // `Result<(), TestCaseError>` so `return Ok(())` /
+                // `return Err(TestCaseError::fail(..))` both compile.
+                let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err($crate::TestCaseError::Reject(_))) => {}
+                    Ok(Err($crate::TestCaseError::Fail(reason))) => {
+                        panic!(
+                            "proptest shim: {} failed at case {}/{} (deterministic seed): {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            reason
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} (deterministic seed)",
+                            stringify!($name),
+                            case + 1,
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assertion macro (no shrinking — delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assertion macro (no shrinking — delegates to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assertion macro (no shrinking — delegates to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(::std::vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop` path alias (`prop::collection::vec`, `prop::sample::select`).
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        use rand::Rng;
+        assert_eq!(a.rng().gen::<u64>(), b.rng().gen::<u64>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 10u32..20, f in -1.5f64..1.5, (a, b) in (0usize..4, any::<bool>())) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&f));
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_select(v in prop::collection::vec(any::<u8>(), 2..6), c in prop::sample::select(vec![1u8, 2, 3])) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!((1..=3).contains(&c));
+        }
+
+        #[test]
+        fn mapped_and_oneof(v in prop_oneof![
+            (0u32..10).prop_map(|x| x * 2),
+            (100u32..110).prop_map(|x| x),
+        ]) {
+            prop_assert!(v < 20 || (100..110).contains(&v));
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0u32..100).prop_map(Tree::Leaf).prop_recursive(3, 12, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+}

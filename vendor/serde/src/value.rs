@@ -1,0 +1,124 @@
+//! The JSON-shaped value tree that the shim's `Serialize`/`Deserialize`
+//! traits round-trip through.
+
+use std::fmt;
+
+/// A dynamically-typed value. Objects keep insertion order so rendered
+/// output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used for values above `i64::MAX` and all
+    /// unsigned sources).
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object's entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Fetch a named field from an object's entries (derive-generated code).
+pub fn field<'a>(
+    entries: &'a [(String, Value)],
+    name: &str,
+    type_name: &str,
+) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` for {type_name}")))
+}
+
+/// Serialization/deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Standard "expected X, found Y" error.
+    pub fn type_mismatch(expected: &str, found: &Value) -> Error {
+        Error::custom(format!("expected {expected}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Bool(true)),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("missing"), None);
+        assert!(field(v.as_object().unwrap(), "b", "T").is_ok());
+        let err = field(v.as_object().unwrap(), "c", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field `c`"));
+    }
+}
