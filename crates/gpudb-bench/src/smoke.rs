@@ -13,6 +13,7 @@ use crate::harness::Workload;
 use gpudb_core::metrics::{ops, MetricsRecord};
 use gpudb_core::query::{execute, Aggregate, BoolExpr, Query};
 use gpudb_core::{EngineResult, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+use gpudb_sim::trace::{PassPlan, RecordMode};
 use gpudb_sim::CompareFunc;
 use serde::{Deserialize, Serialize};
 
@@ -141,7 +142,21 @@ pub fn run_all() -> EngineResult<SmokeReport> {
 
 /// Run a single smoke experiment by id.
 pub fn run_one(id: &str) -> EngineResult<SmokeExperiment> {
+    Ok(run_inner(id, false)?.0)
+}
+
+/// Run a single smoke experiment with the device recording every pass
+/// plan (bit-passive: the outcome is identical to [`run_one`]'s), and
+/// return the plans alongside it — the input to `gpudb-lint`.
+pub fn run_one_traced(id: &str) -> EngineResult<(SmokeExperiment, Vec<PassPlan>)> {
+    run_inner(id, true)
+}
+
+fn run_inner(id: &str, trace: bool) -> EngineResult<(SmokeExperiment, Vec<PassPlan>)> {
     let mut w = Workload::tcpip(SMOKE_RECORDS)?;
+    if trace {
+        w.gpu.enable_tracing(RecordMode::RecordAndExecute);
+    }
     let mut out = Outcome::new();
     match id {
         "fig2_copy" => copy(&mut w, &mut out)?,
@@ -160,7 +175,14 @@ pub fn run_one(id: &str) -> EngineResult<SmokeExperiment> {
             )))
         }
     }
-    Ok(SmokeExperiment {
+    let plans = if trace {
+        let plans = w.gpu.take_plans();
+        w.gpu.disable_tracing();
+        plans
+    } else {
+        Vec::new()
+    };
+    let experiment = SmokeExperiment {
         id: id.to_string(),
         input_records: SMOKE_RECORDS as u64,
         modeled_ns: out
@@ -170,7 +192,8 @@ pub fn run_one(id: &str) -> EngineResult<SmokeExperiment> {
             .sum(),
         checksum: out.checksum.hex(),
         metrics: out.metrics,
-    })
+    };
+    Ok((experiment, plans))
 }
 
 /// Figure 2: `CopyToDepth` of each attribute. The copy has no
@@ -407,6 +430,22 @@ mod tests {
     #[test]
     fn unknown_experiment_rejected() {
         assert!(run_one("nope").is_err());
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_captures_plans() {
+        let (traced, plans) = run_one_traced("fig4_range").unwrap();
+        let plain = run_one("fig4_range").unwrap();
+        // Recording must not perturb results, metrics or modeled cost.
+        assert_eq!(traced, plain);
+        assert!(!plans.is_empty());
+        assert!(plans.iter().any(|p| p.draw_count() > 0));
+        // Plans carry the operator labels the metrics hook assigns.
+        assert!(
+            plans.iter().any(|p| p.label.starts_with("range/")),
+            "{:?}",
+            plans.iter().map(|p| &p.label).collect::<Vec<_>>()
+        );
     }
 
     #[test]

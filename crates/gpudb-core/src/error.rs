@@ -45,6 +45,14 @@ pub enum EngineError {
     TableNotFound(String),
     /// A malformed query (planner/executor-level validation).
     InvalidQuery(String),
+    /// An operator's recorded pass plan violated a paper-routine
+    /// invariant (gpudb-lint, error severity).
+    PlanValidation {
+        /// The operator whose plan failed validation.
+        operator: String,
+        /// Rendered diagnostics from the validator.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +82,16 @@ impl fmt::Display for EngineError {
             }
             EngineError::TableNotFound(name) => write!(f, "table {name:?} not found"),
             EngineError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            EngineError::PlanValidation {
+                operator,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "pass plan for {operator:?} failed validation: {}",
+                    diagnostics.join("; ")
+                )
+            }
         }
     }
 }

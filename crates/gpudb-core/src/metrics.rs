@@ -100,12 +100,18 @@ pub fn observe<T>(
     input_records: u64,
     op: impl FnOnce(&mut Gpu) -> T,
 ) -> (T, MetricsRecord) {
+    let operator = operator.into();
+    // When the device is tracing, each observed operator gets its own
+    // pass plan so validators can attribute diagnostics to it.
+    if gpu.is_recording() {
+        gpu.begin_plan(&operator);
+    }
     let counters_before = gpu.stats().counters();
     let modeled_before = gpu.stats().modeled;
     let result = op(gpu);
     let stats = gpu.stats();
     let record = MetricsRecord {
-        operator: operator.into(),
+        operator,
         input_records,
         counters: stats.counters().since(&counters_before),
         modeled_ns: PhaseNanos::from_phases(&stats.modeled.since(&modeled_before)),

@@ -11,7 +11,8 @@ use crate::selection::Selection;
 use crate::semilinear::semilinear_select;
 use crate::table::GpuTable;
 use crate::timing::{measure, OpTiming};
-use gpudb_sim::Gpu;
+use gpudb_lint::{Linter, Severity};
+use gpudb_sim::{Gpu, RecordMode};
 
 /// One aggregate's result value.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +86,77 @@ fn plan_operator(plan: &SelectionPlan) -> &'static str {
     }
 }
 
-/// Execute a query against a table.
+/// Options controlling query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecuteOptions {
+    /// Record each operator's pass plan while executing and run the
+    /// `gpudb-lint` validator over it afterwards; an error-severity
+    /// diagnostic fails the query with [`EngineError::PlanValidation`].
+    /// Recording is bit-passive: results, modeled cost and work
+    /// counters are identical with or without it.
+    pub validate_plans: bool,
+}
+
+impl Default for ExecuteOptions {
+    /// Validate in debug builds, skip in release (opt back in by
+    /// setting [`ExecuteOptions::validate_plans`] explicitly).
+    fn default() -> ExecuteOptions {
+        ExecuteOptions {
+            validate_plans: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// Execute a query against a table with default [`ExecuteOptions`]
+/// (plan validation on in debug builds, off in release).
 pub fn execute(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<QueryOutput> {
+    execute_with_options(gpu, table, query, ExecuteOptions::default())
+}
+
+/// Execute a query with explicit [`ExecuteOptions`].
+pub fn execute_with_options(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    query: &Query,
+    options: ExecuteOptions,
+) -> EngineResult<QueryOutput> {
+    if !options.validate_plans {
+        return execute_inner(gpu, table, query);
+    }
+    // If the caller is already tracing (e.g. a lint harness), piggyback
+    // on its recorder and leave the collected plans to it.
+    let owns_recorder = !gpu.is_recording();
+    if owns_recorder {
+        gpu.enable_tracing(RecordMode::RecordAndExecute);
+    }
+    let result = execute_inner(gpu, table, query);
+    if !owns_recorder {
+        return result;
+    }
+    let plans = gpu.take_plans();
+    gpu.disable_tracing();
+    let output = result?;
+    let linter = Linter::new();
+    for plan in &plans {
+        let errors: Vec<String> = linter
+            .lint(plan)
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(ToString::to_string)
+            .collect();
+        if !errors.is_empty() {
+            return Err(EngineError::PlanValidation {
+                operator: plan.label.clone(),
+                diagnostics: errors,
+            });
+        }
+    }
+    Ok(output)
+}
+
+/// The untraced execution path shared by [`execute`] and
+/// [`execute_with_options`].
+fn execute_inner(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<QueryOutput> {
     let plan = plan_selection(table, query.filter.as_ref())?;
     let total_records = table.record_count() as u64;
     let mut records: Vec<MetricsRecord> = Vec::with_capacity(1 + query.aggregates.len());
@@ -213,6 +283,36 @@ pub fn explain(table: &GpuTable, query: &Query) -> EngineResult<String> {
         };
         out.push_str(&line);
         out.push('\n');
+    }
+    Ok(out)
+}
+
+/// EXPLAIN with per-pass device state: on top of [`explain`]'s plan
+/// description, dry-run the selection in record-only mode — no fragment
+/// is shaded, no cost is modeled and the framebuffer is untouched — and
+/// append one line per recorded pass showing the depth/stencil/alpha
+/// configuration it would run under.
+///
+/// If the device is already tracing (a lint harness owns the recorder),
+/// the dry run is skipped and the output matches [`explain`].
+pub fn explain_with_device(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<String> {
+    let mut out = explain(table, query)?;
+    let plan = plan_selection(table, query.filter.as_ref())?;
+    if matches!(plan, SelectionPlan::All) || gpu.is_recording() {
+        return Ok(out);
+    }
+    gpu.enable_tracing(RecordMode::RecordOnly);
+    gpu.begin_plan(plan_operator(&plan));
+    let result = execute_selection(gpu, table, &plan);
+    let plans = gpu.take_plans();
+    gpu.disable_tracing();
+    result?;
+    for recorded in &plans {
+        for line in recorded.describe_passes() {
+            out.push_str("  ");
+            out.push_str(&line);
+            out.push('\n');
+        }
     }
     Ok(out)
 }
@@ -485,6 +585,141 @@ mod tests {
         let stage_ns: u64 = out.metrics.iter().map(|r| r.modeled_total_ns()).sum();
         let total_ns = (out.timing.total() * 1e9).round() as u64;
         assert!(stage_ns.abs_diff(total_ns) <= out.metrics.len() as u64);
+    }
+
+    #[test]
+    fn explain_with_device_lists_pass_state_without_cost() {
+        let (mut gpu, t, _, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::Between {
+                column: "a".into(),
+                low: 10,
+                high: 50,
+            },
+        );
+        let counters_before = gpu.stats().counters();
+        let text = explain_with_device(&mut gpu, &t, &q).unwrap();
+        // Headline unchanged, now followed by per-pass device state.
+        assert!(text.contains("RANGE depth-bounds"), "{text}");
+        assert!(text.contains("pass 1:"), "{text}");
+        assert!(text.contains("bounds["), "{text}");
+        assert!(text.contains("stencil("), "{text}");
+        // The record-only dry run shades nothing and costs nothing.
+        assert!(!gpu.is_recording());
+        assert_eq!(gpu.stats().counters(), counters_before);
+
+        // CNF plans list one pass per predicate plus the copies.
+        let q = Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::pred("a", GreaterEqual, 50).and(BoolExpr::pred("b", Less, 100)),
+        );
+        let text = explain_with_device(&mut gpu, &t, &q).unwrap();
+        assert!(text.contains("CONJUNCTION fast path"), "{text}");
+        assert!(text.contains("depth("), "{text}");
+    }
+
+    #[test]
+    fn validation_is_bit_passive_and_restores_device() {
+        let q = Query::filtered(
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum("a".into()),
+                Aggregate::Median("a".into()),
+            ],
+            BoolExpr::pred("a", GreaterEqual, 50).and(BoolExpr::pred("b", Less, 100)),
+        );
+        let (mut gpu, t, _, _) = setup();
+        let validated = execute_with_options(
+            &mut gpu,
+            &t,
+            &q,
+            ExecuteOptions {
+                validate_plans: true,
+            },
+        )
+        .unwrap();
+        assert!(!gpu.is_recording(), "tracing must be torn down");
+        let (mut gpu, t, _, _) = setup();
+        let plain = execute_with_options(
+            &mut gpu,
+            &t,
+            &q,
+            ExecuteOptions {
+                validate_plans: false,
+            },
+        )
+        .unwrap();
+        // Identical results, metrics and modeled timing either way
+        // (wall is real elapsed time, the one nondeterministic field).
+        let modeled = |mut out: QueryOutput| {
+            out.timing.wall = 0.0;
+            out
+        };
+        assert_eq!(modeled(validated), modeled(plain));
+    }
+
+    #[test]
+    fn validation_piggybacks_on_caller_tracing() {
+        let (mut gpu, t, _, _) = setup();
+        gpu.enable_tracing(gpudb_sim::RecordMode::RecordAndExecute);
+        let q = Query::filtered(vec![Aggregate::Count], BoolExpr::pred("a", Less, 100));
+        execute_with_options(
+            &mut gpu,
+            &t,
+            &q,
+            ExecuteOptions {
+                validate_plans: true,
+            },
+        )
+        .unwrap();
+        // The caller's recorder stays active and owns the plans.
+        assert!(gpu.is_recording());
+        let plans = gpu.take_plans();
+        assert!(
+            plans.iter().any(|p| p.label.starts_with("filter/")),
+            "{:?}",
+            plans.iter().map(|p| &p.label).collect::<Vec<_>>()
+        );
+        gpu.disable_tracing();
+    }
+
+    #[test]
+    fn all_query_shapes_validate_cleanly() {
+        // Every planner path, executed with validation forced on: the
+        // real operators must produce lint-clean pass plans.
+        let filters = [
+            None,
+            Some(BoolExpr::pred("a", Greater, 80)),
+            Some(BoolExpr::Between {
+                column: "a".into(),
+                low: 40,
+                high: 120,
+            }),
+            Some(BoolExpr::pred("a", GreaterEqual, 50).and(BoolExpr::pred("b", Less, 100))),
+            Some(BoolExpr::pred("a", Less, 30).or(BoolExpr::pred("b", Greater, 120))),
+            Some(BoolExpr::CompareColumns {
+                left: "a".into(),
+                op: Greater,
+                right: "b".into(),
+            }),
+        ];
+        for filter in filters {
+            let (mut gpu, t, _, _) = setup();
+            let q = Query {
+                aggregates: vec![Aggregate::Count, Aggregate::Sum("a".into())],
+                filter: filter.clone(),
+            };
+            let out = execute_with_options(
+                &mut gpu,
+                &t,
+                &q,
+                ExecuteOptions {
+                    validate_plans: true,
+                },
+            );
+            assert!(out.is_ok(), "filter {filter:?}: {:?}", out.err());
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub mod parser;
 pub mod planner;
 
 pub use ast::{Aggregate, BoolExpr, Query};
-pub use executor::{execute, execute_scalar, explain, AggValue, QueryOutput};
+pub use executor::{
+    execute, execute_scalar, execute_with_options, explain, explain_with_device, AggValue,
+    ExecuteOptions, QueryOutput,
+};
 pub use parser::{parse, Statement};
 pub use planner::{plan_selection, SelectionPlan};

@@ -34,6 +34,13 @@ pub fn range_select(
     gpu.reset_state();
     gpu.clear_stencil(0);
 
+    // An inverted range is empty. EXT_depth_bounds_test rejects
+    // zmin > zmax (glDepthBoundsEXT raises INVALID_VALUE), so answer
+    // from the cleared stencil without running the routine.
+    if low > high {
+        return Ok((Selection::over_table(table), 0));
+    }
+
     // Line 2: CopyToDepth.
     copy_to_depth(gpu, table, column)?;
 

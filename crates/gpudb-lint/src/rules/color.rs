@@ -1,0 +1,108 @@
+//! Color-mask discipline in counting passes (L004).
+
+use super::{depth_can_fail, diag, draws};
+use crate::{Diagnostic, Rule};
+use gpudb_sim::state::CompareFunc;
+use gpudb_sim::trace::PassPlan;
+
+/// **L004** — predicate and aggregate passes must disable color writes.
+///
+/// Every counting routine (Compare §4.1 through Accumulator §4.6)
+/// consumes its result through the stencil buffer or an occlusion
+/// query; the color buffer is dead weight. Leaving the color mask
+/// enabled burns fill rate on a 2004-era card and, worse, scribbles
+/// over a color buffer another routine (e.g. the mipmap reduction) may
+/// be using. The rule fires on draws that are recognizably predicate or
+/// aggregate passes — an occlusion query active, a non-trivial depth or
+/// alpha test, or a stencil test consuming a selection — with any color
+/// channel still writable.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::state::{CompareFunc, PipelineState};
+/// use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut state = PipelineState::default(); // color mask: all channels on!
+/// state.depth.test_enabled = true;
+/// state.depth.func = CompareFunc::Greater;
+/// state.depth.write_enabled = false;
+/// let mut plan = PassPlan::new("predicate/compare_count", caps);
+/// plan.ops.push(PassOp::Draw(DrawPass {
+///     state, program: None, env0: [0.0; 4], depth: 0.5, rects: 1,
+///     occlusion_active: true,
+/// }));
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L004"));
+/// ```
+pub struct L004ColorMaskEnabled;
+
+impl Rule for L004ColorMaskEnabled {
+    fn id(&self) -> &'static str {
+        "L004"
+    }
+
+    fn description(&self) -> &'static str {
+        "predicate/aggregate passes must disable color writes"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        for (i, pass) in draws(plan) {
+            if !pass.state.color_mask.any() {
+                continue;
+            }
+            let stencil = &pass.state.stencil;
+            let counting_pass = pass.occlusion_active
+                || depth_can_fail(pass)
+                || pass.state.alpha.enabled
+                || (stencil.enabled && stencil.func != CompareFunc::Always);
+            if counting_pass {
+                out.push(diag(
+                    self,
+                    i,
+                    "counting pass (occlusion/depth/alpha/stencil test active) leaves color \
+                     writes enabled",
+                    "call set_color_mask(ColorMask::NONE) before predicate and aggregate passes",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{masked_draw, plan};
+    use crate::Linter;
+    use gpudb_sim::state::ColorMask;
+    use gpudb_sim::trace::PassOp;
+
+    #[test]
+    fn plain_color_fill_is_allowed() {
+        // Drawing color with no tests active (e.g. preparing a texture
+        // source) is intentional, not a counting pass.
+        let mut pass = masked_draw();
+        pass.state.color_mask = ColorMask::default();
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(pass));
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L004"));
+    }
+
+    #[test]
+    fn occlusion_counting_with_color_on_is_flagged() {
+        let mut pass = masked_draw();
+        pass.state.color_mask = ColorMask::default();
+        pass.occlusion_active = true;
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(pass));
+        assert!(Linter::new().lint(&p).iter().any(|d| d.rule == "L004"));
+    }
+
+    #[test]
+    fn masked_counting_pass_is_clean() {
+        let mut pass = masked_draw(); // ColorMask::NONE
+        pass.occlusion_active = true;
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(pass));
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L004"));
+    }
+}

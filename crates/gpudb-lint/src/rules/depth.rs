@@ -1,0 +1,246 @@
+//! Depth-path rules: compare-pass purity (L003), 24-bit quantization
+//! range (L007), and extension gating for depth bounds (L009).
+
+use super::{diag, draws};
+use crate::{Diagnostic, Rule};
+use gpudb_sim::state::CompareFunc;
+use gpudb_sim::trace::{PassOp, PassPlan};
+
+/// **L003** — a comparison pass must not write depth.
+///
+/// Compare §4.1 copies the attribute into the depth buffer once, then
+/// tests quads against it (`depth func = op.converse()`). If depth
+/// writes stay enabled during such a pass, the constant's depth
+/// overwrites the stored attributes and every later predicate against
+/// the same column silently compares against garbage.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::state::{ColorMask, CompareFunc, PipelineState};
+/// use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut state = PipelineState { color_mask: ColorMask::NONE, ..Default::default() };
+/// state.depth.test_enabled = true;
+/// state.depth.func = CompareFunc::Greater;
+/// state.depth.write_enabled = true; // forgot set_depth_write(false)!
+/// let mut plan = PassPlan::new("predicate/compare_count", caps);
+/// plan.ops.push(PassOp::Draw(DrawPass {
+///     state, program: None, env0: [0.0; 4], depth: 0.5, rects: 1,
+///     occlusion_active: true,
+/// }));
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L003"));
+/// ```
+pub struct L003CompareDepthWrite;
+
+impl Rule for L003CompareDepthWrite {
+    fn id(&self) -> &'static str {
+        "L003"
+    }
+
+    fn description(&self) -> &'static str {
+        "depth writes must be disabled during comparison passes"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        for (i, pass) in draws(plan) {
+            let depth = &pass.state.depth;
+            if depth.test_enabled && depth.func != CompareFunc::Always && depth.write_enabled {
+                out.push(diag(
+                    self,
+                    i,
+                    format!(
+                        "draw compares stored depth with {:?} while depth writes are enabled — \
+                         the pass overwrites the attribute values it is comparing against",
+                        depth.func
+                    ),
+                    "call set_depth_write(false) before the comparison pass",
+                ));
+            }
+        }
+    }
+}
+
+/// **L007** — depth values must stay inside the 24-bit quantization
+/// range `[0, 1]`.
+///
+/// §3.3 of the paper encodes attributes into the depth buffer as
+/// `value / 2^24`; a quad depth, clear depth, or depth-bounds bound
+/// outside `[0, 1]` means the attribute or constant exceeded 24 bits
+/// and would be clamped, corrupting every comparison against it.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::trace::{DeviceCaps, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut plan = PassPlan::new("range/range_count", caps);
+/// // encode_depth of a 25-bit constant: > 1.0.
+/// plan.ops.push(PassOp::SetDepthBounds { enabled: true, min: 0.5, max: 2.0 });
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L007"));
+/// ```
+pub struct L007DepthOutOfRange;
+
+impl Rule for L007DepthOutOfRange {
+    fn id(&self) -> &'static str {
+        "L007"
+    }
+
+    fn description(&self) -> &'static str {
+        "depth values must lie in [0, 1] (the 24-bit quantization range)"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        let fix = "encode attributes with encode_depth (value / 2^24) and keep them under 24 bits";
+        for (i, op) in plan.ops.iter().enumerate() {
+            match op {
+                PassOp::Draw(pass) if !(pass.depth >= 0.0 && pass.depth <= 1.0) => {
+                    out.push(diag(
+                        self,
+                        i,
+                        format!("quad depth {} outside [0, 1]", pass.depth),
+                        fix,
+                    ));
+                }
+                PassOp::ClearDepth { depth } if !(*depth >= 0.0 && *depth <= 1.0) => {
+                    out.push(diag(
+                        self,
+                        i,
+                        format!("clear depth {depth} outside [0, 1]"),
+                        fix,
+                    ));
+                }
+                PassOp::SetDepthBounds {
+                    enabled: true,
+                    min,
+                    max,
+                } if !(*min >= 0.0 && *max <= 1.0 && min <= max) => {
+                    out.push(diag(
+                        self,
+                        i,
+                        format!("depth bounds [{min}, {max}] not an ordered subrange of [0, 1]"),
+                        fix,
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// **L009** — the depth-bounds test requires `EXT_depth_bounds_test`.
+///
+/// Range §4.4 evaluates `low <= attribute <= high` in a single pass via
+/// the depth-bounds test — an NV35 extension. A plan drawing with depth
+/// bounds enabled on a device that does not advertise the capability
+/// would silently fall back to testing nothing.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::state::{ColorMask, PipelineState};
+/// use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan};
+///
+/// // A pre-NV35 device: no depth-bounds extension.
+/// let caps = DeviceCaps { has_depth_bounds: false, has_depth_compare_mask: false };
+/// let mut state = PipelineState { color_mask: ColorMask::NONE, ..Default::default() };
+/// state.depth_bounds.enabled = true;
+/// state.depth_bounds.min = 0.1;
+/// state.depth_bounds.max = 0.9;
+/// let mut plan = PassPlan::new("range/range_count", caps);
+/// plan.ops.push(PassOp::Draw(DrawPass {
+///     state, program: None, env0: [0.0; 4], depth: 0.1, rects: 1,
+///     occlusion_active: true,
+/// }));
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L009"));
+/// ```
+pub struct L009DepthBoundsUnsupported;
+
+impl Rule for L009DepthBoundsUnsupported {
+    fn id(&self) -> &'static str {
+        "L009"
+    }
+
+    fn description(&self) -> &'static str {
+        "depth-bounds test requires the EXT_depth_bounds_test capability"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        if plan.caps.has_depth_bounds {
+            return;
+        }
+        for (i, pass) in draws(plan) {
+            if pass.state.depth_bounds.enabled {
+                out.push(diag(
+                    self,
+                    i,
+                    "draw uses the depth-bounds test but the device lacks EXT_depth_bounds_test",
+                    "gate the Range routine on HardwareProfile::has_depth_bounds or use two compare passes",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{masked_draw, plan};
+    use super::*;
+    use crate::Linter;
+    use gpudb_sim::trace::DeviceCaps;
+
+    #[test]
+    fn copy_style_pass_is_clean() {
+        // CopyToDepth: depth test disabled, writes enabled — not a
+        // comparison pass, must not fire L003.
+        let mut pass = masked_draw();
+        pass.state.depth.test_enabled = false;
+        pass.state.depth.write_enabled = true;
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(pass));
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L003"));
+    }
+
+    #[test]
+    fn nan_depth_is_flagged() {
+        let mut pass = masked_draw();
+        pass.depth = f32::NAN;
+        pass.occlusion_active = true; // keep L010 quiet
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(pass));
+        assert!(Linter::new().lint(&p).iter().any(|d| d.rule == "L007"));
+    }
+
+    #[test]
+    fn inverted_bounds_are_flagged() {
+        let mut p = plan();
+        p.ops.push(PassOp::SetDepthBounds {
+            enabled: true,
+            min: 0.9,
+            max: 0.1,
+        });
+        assert!(Linter::new().lint(&p).iter().any(|d| d.rule == "L007"));
+    }
+
+    #[test]
+    fn depth_bounds_allowed_when_capability_present() {
+        let mut pass = masked_draw();
+        pass.state.depth_bounds.enabled = true;
+        pass.occlusion_active = true;
+        let mut p = plan(); // caps() has the extension
+        p.ops.push(PassOp::Draw(pass.clone()));
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L009"));
+
+        let mut p = gpudb_sim::trace::PassPlan::new(
+            "no-ext",
+            DeviceCaps {
+                has_depth_bounds: false,
+                has_depth_compare_mask: false,
+            },
+        );
+        p.ops.push(PassOp::Draw(pass));
+        assert!(Linter::new().lint(&p).iter().any(|d| d.rule == "L009"));
+    }
+}

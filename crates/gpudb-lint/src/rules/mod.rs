@@ -1,0 +1,128 @@
+//! The default rule set: one module per invariant family.
+//!
+//! | Rule | Paper routine | Failure prevented |
+//! |------|---------------|-------------------|
+//! | [`L001UnpairedOcclusionQuery`] | all counting routines (§5.3) | lost / double-begun occlusion counts |
+//! | [`L002OcclusionReadHazard`] | KthLargest §4.5, Accumulator §4.6 | reading a count before the query ends |
+//! | [`L003CompareDepthWrite`] | Compare §4.1 | compare pass overwrites the stored attributes |
+//! | [`L004ColorMaskEnabled`] | Predicates §4.1–§4.4, aggregates §4.5–§4.6 | shading cost + garbage color output in count-only passes |
+//! | [`L005StencilEncodingOverflow`] | EvalCNF §4.3 | stencil values escaping the {0,1,2} clause encoding |
+//! | [`L006StencilWriteWithoutClear`] | selection protocol (§4.3) | stencil writes over undefined buffer contents |
+//! | [`L007DepthOutOfRange`] | attribute encoding §3.3 | values outside the 24-bit depth quantization |
+//! | [`L008TestBitOutOfRange`] | Accumulator §4.6 | `TestBit` bit index outside `[0, 24)` |
+//! | [`L009DepthBoundsUnsupported`] | Range §4.4 | using `EXT_depth_bounds_test` on hardware without it |
+//! | [`L010DeadPass`] | all routines | passes whose writes nothing can ever observe |
+
+mod color;
+mod dead;
+mod depth;
+mod occlusion;
+mod stencil;
+mod testbit;
+
+pub use color::L004ColorMaskEnabled;
+pub use dead::L010DeadPass;
+pub use depth::{L003CompareDepthWrite, L007DepthOutOfRange, L009DepthBoundsUnsupported};
+pub use occlusion::{L001UnpairedOcclusionQuery, L002OcclusionReadHazard};
+pub use stencil::{L005StencilEncodingOverflow, L006StencilWriteWithoutClear};
+pub use testbit::L008TestBitOutOfRange;
+
+use crate::{Diagnostic, Rule};
+use gpudb_sim::state::{CompareFunc, StencilOp, StencilState};
+use gpudb_sim::trace::{DrawPass, PassOp, PassPlan};
+
+/// Every rule, in id order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(L001UnpairedOcclusionQuery),
+        Box::new(L002OcclusionReadHazard),
+        Box::new(L003CompareDepthWrite),
+        Box::new(L004ColorMaskEnabled),
+        Box::new(L005StencilEncodingOverflow),
+        Box::new(L006StencilWriteWithoutClear),
+        Box::new(L007DepthOutOfRange),
+        Box::new(L008TestBitOutOfRange),
+        Box::new(L009DepthBoundsUnsupported),
+        Box::new(L010DeadPass),
+    ]
+}
+
+/// Iterate the draw calls of a plan with their op indices.
+fn draws(plan: &PassPlan) -> impl Iterator<Item = (usize, &DrawPass)> {
+    plan.ops.iter().enumerate().filter_map(|(i, op)| match op {
+        PassOp::Draw(pass) => Some((i, pass)),
+        _ => None,
+    })
+}
+
+/// Whether a draw under this stencil state can modify the stencil
+/// buffer: the test is enabled, some op is not `Keep`, and at least one
+/// bit is writable. Read-only consumers of a selection (the paper's
+/// `stencil == SELECTED` masks with all ops `Keep`) are exempt.
+fn stencil_write_possible(st: &StencilState) -> bool {
+    st.enabled
+        && st.write_mask != 0
+        && [st.op_fail, st.op_zfail, st.op_zpass]
+            .iter()
+            .any(|&op| op != StencilOp::Keep)
+}
+
+/// Whether the depth test of this draw can reject a fragment.
+fn depth_can_fail(pass: &DrawPass) -> bool {
+    pass.state.depth.test_enabled && pass.state.depth.func != CompareFunc::Always
+}
+
+/// Build a diagnostic for `rule` anchored at op `index`.
+fn diag(
+    rule: &dyn Rule,
+    index: usize,
+    message: impl Into<String>,
+    fix_hint: impl Into<String>,
+) -> Diagnostic {
+    Diagnostic {
+        rule: rule.id().to_string(),
+        severity: rule.default_severity(),
+        pass_index: Some(index),
+        message: message.into(),
+        fix_hint: fix_hint.into(),
+    }
+}
+
+/// Shared constructors for rule unit tests (and the engine tests in
+/// `lib.rs`).
+#[cfg(test)]
+pub(crate) mod tests {
+    use gpudb_sim::state::{ColorMask, PipelineState};
+    use gpudb_sim::trace::{DeviceCaps, DrawPass, PassPlan};
+
+    /// Caps matching the paper's NV35 (depth bounds, no compare mask).
+    pub fn caps() -> DeviceCaps {
+        DeviceCaps {
+            has_depth_bounds: true,
+            has_depth_compare_mask: false,
+        }
+    }
+
+    /// An empty plan on NV35 caps.
+    pub fn plan() -> PassPlan {
+        PassPlan::new("test", caps())
+    }
+
+    /// A fixed-function draw with all writes masked off — observable by
+    /// nothing, the canonical dead pass.
+    pub fn masked_draw() -> DrawPass {
+        let mut state = PipelineState {
+            color_mask: ColorMask::NONE,
+            ..PipelineState::default()
+        };
+        state.depth.write_enabled = false;
+        DrawPass {
+            state,
+            program: None,
+            env0: [0.0; 4],
+            depth: 0.5,
+            rects: 1,
+            occlusion_active: false,
+        }
+    }
+}

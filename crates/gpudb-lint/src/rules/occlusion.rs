@@ -1,0 +1,169 @@
+//! Occlusion-query discipline: pairing (L001) and read-after-write
+//! hazards (L002).
+
+use super::diag;
+use crate::{Diagnostic, Rule};
+use gpudb_sim::trace::{PassOp, PassPlan};
+
+/// **L001** — every `BeginOcclusionQuery` must have a matching
+/// `EndOcclusionQuery`, with no nesting.
+///
+/// Every counting routine in the paper (Compare §4.1, Range §4.4,
+/// KthLargest §4.5, Accumulator §4.6) returns its result through
+/// `NV_occlusion_query`; a begin without an end loses the count, and a
+/// begin while another query is active merges two passes' counts.
+///
+/// ```
+/// use gpudb_lint::{Linter, rules::L001UnpairedOcclusionQuery};
+/// use gpudb_sim::trace::{DeviceCaps, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut plan = PassPlan::new("predicate/compare_count", caps);
+/// plan.ops.push(PassOp::BeginOcclusionQuery); // never ended
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L001"));
+/// ```
+pub struct L001UnpairedOcclusionQuery;
+
+impl Rule for L001UnpairedOcclusionQuery {
+    fn id(&self) -> &'static str {
+        "L001"
+    }
+
+    fn description(&self) -> &'static str {
+        "occlusion queries must be begun and ended in strict pairs"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        let mut active: Option<usize> = None;
+        for (i, op) in plan.ops.iter().enumerate() {
+            match op {
+                PassOp::BeginOcclusionQuery => {
+                    if active.is_some() {
+                        out.push(diag(
+                            self,
+                            i,
+                            "BeginOcclusionQuery while a query is already active",
+                            "end the active query before beginning another",
+                        ));
+                    }
+                    active = Some(i);
+                }
+                PassOp::EndOcclusionQuery { .. } => {
+                    if active.is_none() {
+                        out.push(diag(
+                            self,
+                            i,
+                            "EndOcclusionQuery without an active query",
+                            "begin a query before ending one",
+                        ));
+                    }
+                    active = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(i) = active {
+            out.push(diag(
+                self,
+                i,
+                "occlusion query begun here is never ended",
+                "call end_occlusion_query or end_occlusion_query_async before the plan ends",
+            ));
+        }
+    }
+}
+
+/// **L002** — an occlusion result must not be read while its query is
+/// still active (a read-after-write hazard).
+///
+/// The per-bit loops of KthLargest §4.5 and Accumulator §4.6 consume
+/// each pass's count; fetching it before `EndOcclusionQuery` returns a
+/// partial count for whatever fragments happened to have drained.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::trace::{DeviceCaps, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut plan = PassPlan::new("aggregate/kth_largest", caps);
+/// plan.ops.push(PassOp::BeginOcclusionQuery);
+/// plan.ops.push(PassOp::ReadOcclusionResult); // before the end!
+/// plan.ops.push(PassOp::EndOcclusionQuery { sync: true });
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L002"));
+/// ```
+pub struct L002OcclusionReadHazard;
+
+impl Rule for L002OcclusionReadHazard {
+    fn id(&self) -> &'static str {
+        "L002"
+    }
+
+    fn description(&self) -> &'static str {
+        "occlusion results must not be read before the query ends"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        let mut active = false;
+        for (i, op) in plan.ops.iter().enumerate() {
+            match op {
+                PassOp::BeginOcclusionQuery => active = true,
+                PassOp::EndOcclusionQuery { .. } => active = false,
+                PassOp::ReadOcclusionResult if active => {
+                    out.push(diag(
+                        self,
+                        i,
+                        "occlusion result read while the query is still active",
+                        "end the query (sync or async) before reading its count",
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::plan;
+    use super::*;
+    use crate::Linter;
+
+    #[test]
+    fn balanced_queries_are_clean() {
+        let mut p = plan();
+        p.ops.push(PassOp::BeginOcclusionQuery);
+        p.ops.push(PassOp::EndOcclusionQuery { sync: false });
+        p.ops.push(PassOp::BeginOcclusionQuery);
+        p.ops.push(PassOp::EndOcclusionQuery { sync: true });
+        p.ops.push(PassOp::ReadOcclusionResult);
+        let diags = Linter::new().lint(&p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn double_begin_end_without_begin_and_dangling() {
+        let mut p = plan();
+        p.ops.push(PassOp::EndOcclusionQuery { sync: true }); // end w/o begin
+        p.ops.push(PassOp::BeginOcclusionQuery);
+        p.ops.push(PassOp::BeginOcclusionQuery); // double begin, dangles
+        let diags: Vec<_> = Linter::new()
+            .lint(&p)
+            .into_iter()
+            .filter(|d| d.rule == "L001")
+            .collect();
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert_eq!(diags[0].pass_index, Some(0));
+        assert_eq!(diags[1].pass_index, Some(2));
+    }
+
+    #[test]
+    fn read_after_end_is_clean() {
+        let mut p = plan();
+        p.ops.push(PassOp::BeginOcclusionQuery);
+        p.ops.push(PassOp::EndOcclusionQuery { sync: true });
+        p.ops.push(PassOp::ReadOcclusionResult);
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L002"));
+    }
+}

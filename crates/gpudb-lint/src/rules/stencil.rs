@@ -1,0 +1,305 @@
+//! Stencil-protocol rules: the {0,1,2} CNF encoding (L005) and
+//! clear-before-write discipline (L006).
+
+use super::{depth_can_fail, diag, stencil_write_possible};
+use crate::{Diagnostic, Rule};
+use gpudb_sim::trace::{PassOp, PassPlan};
+use std::collections::BTreeSet;
+
+/// Stencil write masks must cover all bits for value tracking to be
+/// sound; partial-mask protocols (the DNF bit-plane scheme) are outside
+/// the CNF encoding and exempt from L005.
+const FULL_MASK: u8 = 0xFF;
+
+/// **L005** — stencil values must stay inside the CNF encoding {0, 1, 2}.
+///
+/// EvalCNF §4.3 encodes clause progress in the stencil buffer with
+/// exactly three values: 0 (rejected), and an alternating valid/marker
+/// pair 1/2 maintained with `Incr`/`Decr`. The rule abstractly
+/// interprets the plan — tracking the set of values the buffer can hold
+/// after each clear and draw — and fires when any reachable value
+/// exceeds 2, which means a mismatched reference or a missing cleanup
+/// pass lets markers accumulate and later clauses match garbage.
+///
+/// Tracking starts at a `ClearStencil` and is abandoned (soundly) when
+/// a pass uses a partial stencil write mask, as the DNF bit-plane
+/// protocol does.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::state::{ColorMask, CompareFunc, PipelineState, StencilOp};
+/// use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut plan = PassPlan::new("boolean/eval_cnf_count", caps);
+/// plan.ops.push(PassOp::ClearStencil { value: 2 }); // should be 1!
+/// let mut state = PipelineState { color_mask: ColorMask::NONE, ..Default::default() };
+/// state.depth.write_enabled = false;
+/// state.stencil.enabled = true;
+/// state.stencil.func = CompareFunc::Equal;
+/// state.stencil.reference = 2;
+/// state.stencil.op_zpass = StencilOp::Incr; // 2 -> 3: escapes the encoding
+/// plan.ops.push(PassOp::Draw(DrawPass {
+///     state, program: None, env0: [0.0; 4], depth: 0.5, rects: 1,
+///     occlusion_active: false,
+/// }));
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L005"));
+/// ```
+pub struct L005StencilEncodingOverflow;
+
+impl Rule for L005StencilEncodingOverflow {
+    fn id(&self) -> &'static str {
+        "L005"
+    }
+
+    fn description(&self) -> &'static str {
+        "stencil values must stay inside the CNF encoding {0, 1, 2}"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        // The set of values the stencil buffer can contain, or `None`
+        // while contents are unknown (before any clear, or after a
+        // partial-mask write).
+        let mut values: Option<BTreeSet<u8>> = None;
+        for (i, op) in plan.ops.iter().enumerate() {
+            match op {
+                PassOp::ClearStencil { value } => {
+                    values = Some(BTreeSet::from([*value]));
+                }
+                PassOp::Draw(pass) => {
+                    let st = &pass.state.stencil;
+                    if !st.enabled {
+                        continue;
+                    }
+                    if st.write_mask != FULL_MASK {
+                        values = None;
+                        continue;
+                    }
+                    let Some(current) = values.take() else {
+                        continue;
+                    };
+                    let mut next = BTreeSet::new();
+                    for &v in &current {
+                        // Pixels outside the drawn rects (or failing the
+                        // depth-bounds test, which skips stencil updates)
+                        // keep their value.
+                        next.insert(v);
+                        if st.test(v) {
+                            if depth_can_fail(pass) {
+                                next.insert(st.write(v, st.op_zfail));
+                            }
+                            next.insert(st.write(v, st.op_zpass));
+                        } else {
+                            next.insert(st.write(v, st.op_fail));
+                        }
+                    }
+                    if let Some(&max) = next.iter().next_back() {
+                        if max > 2 && !current.iter().any(|&v| v > 2) {
+                            out.push(diag(
+                                self,
+                                i,
+                                format!(
+                                    "draw can push a stencil value to {max}, outside the CNF \
+                                     encoding {{0, 1, 2}}"
+                                ),
+                                "check the clause reference values and Incr/Decr alternation \
+                                 of Routine 4.3",
+                            ));
+                        }
+                    }
+                    values = Some(next);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// **L006** — a pass that can write the stencil buffer needs a
+/// `ClearStencil` earlier in the plan.
+///
+/// The selection protocol (§4.3) starts every stencil-building routine
+/// by clearing the buffer; writing over whatever a previous operator
+/// left behind merges two unrelated selections. Read-only consumers —
+/// the `stencil == SELECTED` masks of `KthLargest` §4.5 and Accumulator
+/// §4.6, whose ops are all `Keep` — deliberately reuse the previous
+/// selection and are exempt.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::state::{ColorMask, CompareFunc, PipelineState, StencilOp};
+/// use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut state = PipelineState { color_mask: ColorMask::NONE, ..Default::default() };
+/// state.depth.write_enabled = false;
+/// state.stencil.enabled = true;
+/// state.stencil.func = CompareFunc::Equal;
+/// state.stencil.reference = 1;
+/// state.stencil.op_zpass = StencilOp::Replace; // writes, but nothing cleared
+/// let mut plan = PassPlan::new("filter/cnf", caps);
+/// plan.ops.push(PassOp::Draw(DrawPass {
+///     state, program: None, env0: [0.0; 4], depth: 0.5, rects: 1,
+///     occlusion_active: false,
+/// }));
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L006"));
+/// ```
+pub struct L006StencilWriteWithoutClear;
+
+impl Rule for L006StencilWriteWithoutClear {
+    fn id(&self) -> &'static str {
+        "L006"
+    }
+
+    fn description(&self) -> &'static str {
+        "stencil-writing passes need a stencil clear earlier in the plan"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        let mut cleared = false;
+        for (i, op) in plan.ops.iter().enumerate() {
+            match op {
+                PassOp::ClearStencil { .. } => cleared = true,
+                PassOp::Draw(pass) if !cleared && stencil_write_possible(&pass.state.stencil) => {
+                    out.push(diag(
+                        self,
+                        i,
+                        "draw can write the stencil buffer but no ClearStencil precedes it \
+                         in this plan",
+                        "clear the stencil before building a selection, or use all-Keep ops \
+                         to consume an existing one",
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{masked_draw, plan};
+    use super::*;
+    use crate::Linter;
+    use gpudb_sim::state::{CompareFunc, StencilOp};
+    use gpudb_sim::trace::DrawPass;
+
+    fn stencil_draw(
+        func: CompareFunc,
+        reference: u8,
+        ops: (StencilOp, StencilOp, StencilOp),
+    ) -> DrawPass {
+        let mut pass = masked_draw();
+        pass.state.stencil.enabled = true;
+        pass.state.stencil.func = func;
+        pass.state.stencil.reference = reference;
+        pass.state.stencil.op_fail = ops.0;
+        pass.state.stencil.op_zfail = ops.1;
+        pass.state.stencil.op_zpass = ops.2;
+        pass
+    }
+
+    #[test]
+    fn cnf_alternation_stays_in_encoding() {
+        // Routine 4.3 as implemented: clear 1; clause 1 promotes 1→2
+        // (Incr), cleanup zeroes stragglers; clause 2 demotes 2→1 (Decr).
+        let mut p = plan();
+        p.ops.push(PassOp::ClearStencil { value: 1 });
+        let mut promote = stencil_draw(
+            CompareFunc::Equal,
+            1,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Incr),
+        );
+        promote.state.depth.test_enabled = true;
+        promote.state.depth.func = CompareFunc::Greater;
+        p.ops.push(PassOp::Draw(promote.clone()));
+        p.ops.push(PassOp::Draw(promote)); // second disjunct, same clause
+        p.ops.push(PassOp::Draw(stencil_draw(
+            CompareFunc::Equal,
+            1,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Zero),
+        )));
+        let mut demote = stencil_draw(
+            CompareFunc::Equal,
+            2,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Decr),
+        );
+        demote.state.depth.test_enabled = true;
+        demote.state.depth.func = CompareFunc::Less;
+        p.ops.push(PassOp::Draw(demote));
+        let diags = Linter::new().lint(&p);
+        assert!(!diags.iter().any(|d| d.rule == "L005"), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_cleanup_overflows_encoding() {
+        // Two Incr-promoting clauses with no Decr between them: 1→2→3.
+        let mut p = plan();
+        p.ops.push(PassOp::ClearStencil { value: 1 });
+        for reference in [1u8, 2] {
+            let mut pass = stencil_draw(
+                CompareFunc::Equal,
+                reference,
+                (StencilOp::Keep, StencilOp::Keep, StencilOp::Incr),
+            );
+            pass.state.depth.test_enabled = true;
+            pass.state.depth.func = CompareFunc::Greater;
+            p.ops.push(PassOp::Draw(pass));
+        }
+        let l005: Vec<_> = Linter::new()
+            .lint(&p)
+            .into_iter()
+            .filter(|d| d.rule == "L005")
+            .collect();
+        assert_eq!(l005.len(), 1, "{l005:?}");
+        assert_eq!(l005[0].pass_index, Some(2));
+    }
+
+    #[test]
+    fn partial_write_mask_abandons_tracking() {
+        // The DNF protocol: reference 3 with write_mask 0x01 would be an
+        // overflow under naive tracking, but partial masks exempt it.
+        let mut p = plan();
+        p.ops.push(PassOp::ClearStencil { value: 0 });
+        let mut pass = stencil_draw(
+            CompareFunc::Always,
+            3,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Replace),
+        );
+        pass.state.stencil.write_mask = 0x02;
+        p.ops.push(PassOp::Draw(pass.clone()));
+        p.ops.push(PassOp::Draw(pass)); // still untracked afterwards
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L005"));
+    }
+
+    #[test]
+    fn read_only_masks_need_no_clear() {
+        // KthLargest consuming a selection: Equal + all Keep, no clear.
+        let mut p = plan();
+        let mut pass = stencil_draw(
+            CompareFunc::Equal,
+            1,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Keep),
+        );
+        pass.occlusion_active = true;
+        p.ops.push(PassOp::Draw(pass));
+        let diags = Linter::new().lint(&p);
+        assert!(!diags.iter().any(|d| d.rule == "L006"), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_write_mask_is_read_only() {
+        let mut p = plan();
+        let mut pass = stencil_draw(
+            CompareFunc::Equal,
+            1,
+            (StencilOp::Zero, StencilOp::Zero, StencilOp::Zero),
+        );
+        pass.state.stencil.write_mask = 0;
+        pass.occlusion_active = true;
+        p.ops.push(PassOp::Draw(pass));
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L006"));
+    }
+}

@@ -1,0 +1,150 @@
+//! `TestBit` bit-index validation (L008).
+
+use super::{diag, draws};
+use crate::{Diagnostic, Rule};
+use gpudb_sim::trace::PassPlan;
+
+/// Attribute width of the depth encoding (§3.3): values carry at most
+/// 24 bits, so a `TestBit` pass may select bits `0..24` only.
+const ATTRIBUTE_BITS: i64 = 24;
+
+/// **L008** — a `TestBit` pass must select a bit index inside
+/// `[0, 24)`.
+///
+/// Accumulator §4.6 sums a column bit-plane by bit-plane: pass `i`
+/// binds the `TestBit` program with `env[ENV_SCALE].x = 0.5^(i+1)` so
+/// the alpha test isolates bit `i`, and the occlusion count is shifted
+/// by `i`. A scale that does not correspond to an integer bit index in
+/// `[0, 24)` (24-bit attribute encoding, §3.3) silently contributes a
+/// garbage partial sum.
+///
+/// ```
+/// use gpudb_lint::Linter;
+/// use gpudb_sim::state::{ColorMask, CompareFunc, PipelineState};
+/// use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan, ProgramInfo};
+///
+/// let caps = DeviceCaps { has_depth_bounds: true, has_depth_compare_mask: false };
+/// let mut state = PipelineState { color_mask: ColorMask::NONE, ..Default::default() };
+/// state.depth.write_enabled = false;
+/// state.alpha.enabled = true;
+/// state.alpha.func = CompareFunc::GreaterEqual;
+/// state.alpha.reference = 0.5;
+/// let testbit = ProgramInfo {
+///     name: "TestBit".into(), instructions: 5, writes_depth: false, has_kil: false,
+/// };
+/// let mut plan = PassPlan::new("aggregate/accumulator_sum", caps);
+/// plan.ops.push(PassOp::Draw(DrawPass {
+///     state,
+///     program: Some(testbit),
+///     env0: [0.5f32.powi(26), 0.0, 0.0, 0.0], // bit 25: out of range
+///     depth: 0.0,
+///     rects: 1,
+///     occlusion_active: true,
+/// }));
+/// let diags = Linter::new().lint(&plan);
+/// assert!(diags.iter().any(|d| d.rule == "L008"));
+/// ```
+pub struct L008TestBitOutOfRange;
+
+impl Rule for L008TestBitOutOfRange {
+    fn id(&self) -> &'static str {
+        "L008"
+    }
+
+    fn description(&self) -> &'static str {
+        "TestBit passes must select a bit index in [0, 24)"
+    }
+
+    fn check(&self, plan: &PassPlan, out: &mut Vec<Diagnostic>) {
+        for (i, pass) in draws(plan) {
+            let Some(program) = &pass.program else {
+                continue;
+            };
+            if program.name != "TestBit" {
+                continue;
+            }
+            let scale = f64::from(pass.env0[0]);
+            let fix = "set env[ENV_SCALE].x = 0.5^(i+1) with 0 <= i < 24";
+            if !(scale > 0.0 && scale.is_finite()) {
+                out.push(diag(
+                    self,
+                    i,
+                    format!("TestBit scale {scale} is not a positive power of 0.5"),
+                    fix,
+                ));
+                continue;
+            }
+            // scale = 0.5^(i+1)  =>  i = -log2(scale) - 1.
+            let exact = -scale.log2() - 1.0;
+            let bit = exact.round();
+            if (exact - bit).abs() > 1e-6 || !(0..ATTRIBUTE_BITS).contains(&(bit as i64)) {
+                out.push(diag(
+                    self,
+                    i,
+                    format!(
+                        "TestBit scale {scale} selects bit {exact:.3}, outside [0, {ATTRIBUTE_BITS})"
+                    ),
+                    fix,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::{masked_draw, plan};
+    use crate::Linter;
+    use gpudb_sim::trace::{PassOp, ProgramInfo};
+
+    fn testbit_draw(scale: f32) -> PassOp {
+        let mut pass = masked_draw();
+        pass.program = Some(ProgramInfo {
+            name: "TestBit".into(),
+            instructions: 5,
+            writes_depth: false,
+            has_kil: false,
+        });
+        pass.env0 = [scale, 0.0, 0.0, 0.0];
+        pass.occlusion_active = true;
+        PassOp::Draw(pass)
+    }
+
+    #[test]
+    fn all_valid_bits_are_clean() {
+        let mut p = plan();
+        for bit in 0..24 {
+            p.ops.push(testbit_draw(0.5f32.powi(bit + 1)));
+        }
+        let diags = Linter::new().lint(&p);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bit_24_zero_scale_and_non_power_are_flagged() {
+        for scale in [0.5f32.powi(25), 0.0, 0.3] {
+            let mut p = plan();
+            p.ops.push(testbit_draw(scale));
+            assert!(
+                Linter::new().lint(&p).iter().any(|d| d.rule == "L008"),
+                "scale {scale} should be flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn other_programs_ignore_env_scale() {
+        let mut pass = masked_draw();
+        pass.program = Some(ProgramInfo {
+            name: "CopyToDepth".into(),
+            instructions: 5,
+            writes_depth: true,
+            has_kil: false,
+        });
+        pass.state.depth.write_enabled = true;
+        pass.env0 = [0.3, 0.0, 0.0, 0.0];
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(pass));
+        assert!(!Linter::new().lint(&p).iter().any(|d| d.rule == "L008"));
+    }
+}

@@ -47,6 +47,9 @@ pub struct HardwareProfile {
     /// Whether the device supports the §6.1 depth-compare-mask extension
     /// (hypothetical in 2004; used for the hardware-wishlist ablation).
     pub has_depth_compare_mask: bool,
+    /// Whether the device supports `EXT_depth_bounds_test` (§4.4's Range
+    /// routine requires it; NV35 shipped the extension).
+    pub has_depth_bounds: bool,
 }
 
 impl HardwareProfile {
@@ -63,6 +66,7 @@ impl HardwareProfile {
             readback_bytes_per_sec: 266e6,
             readback_latency_s: 0.1e-3,
             has_depth_compare_mask: false,
+            has_depth_bounds: true,
         }
     }
 

@@ -12,6 +12,9 @@ use crate::state::{
 };
 use crate::stats::{GpuStats, Phase};
 use crate::texture::{Texture, TextureId};
+use crate::trace::{
+    DeviceCaps, DrawPass, PassOp, PassPlan, ProgramInfo, RecordMode, TraceRecorder,
+};
 use std::time::Instant;
 
 /// Default video memory budget: the paper's card had 256 MB.
@@ -38,6 +41,7 @@ pub struct Gpu {
     stats: GpuStats,
     vram_budget: usize,
     vram_used: usize,
+    recorder: Option<TraceRecorder>,
 }
 
 impl Gpu {
@@ -62,6 +66,7 @@ impl Gpu {
             stats: GpuStats::default(),
             vram_budget: DEFAULT_VRAM_BYTES,
             vram_used,
+            recorder: None,
         }
     }
 
@@ -99,6 +104,67 @@ impl Gpu {
     /// unaffected; only the modeled cost of shading changes.
     pub fn set_early_z(&mut self, enabled: bool) {
         self.early_z = enabled;
+    }
+
+    // ------------------------------------------------------------------
+    // Pass-plan tracing
+    // ------------------------------------------------------------------
+
+    /// Start recording device operations as [`PassPlan`] IR.
+    ///
+    /// In [`RecordMode::RecordAndExecute`] recording is purely passive:
+    /// results, statistics and modeled costs are bit-identical to an
+    /// untraced run. In [`RecordMode::RecordOnly`] draws, clears, copies
+    /// and readbacks validate their arguments and record ops but do not
+    /// touch the framebuffer or charge any modeled cost.
+    pub fn enable_tracing(&mut self, mode: RecordMode) {
+        let caps = DeviceCaps {
+            has_depth_bounds: self.profile.has_depth_bounds,
+            has_depth_compare_mask: self.profile.has_depth_compare_mask,
+        };
+        self.recorder = Some(TraceRecorder::new(mode, caps));
+    }
+
+    /// Stop recording, discarding any plans not yet taken.
+    pub fn disable_tracing(&mut self) {
+        self.recorder = None;
+    }
+
+    /// Whether a trace recorder is attached.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Close the current plan (if any) and start a new one labeled
+    /// `label`. No-op when tracing is disabled.
+    pub fn begin_plan(&mut self, label: &str) {
+        if let Some(rec) = &mut self.recorder {
+            rec.begin_plan(label);
+        }
+    }
+
+    /// Drain all recorded plans, closing the open one. Returns an empty
+    /// vector when tracing is disabled.
+    pub fn take_plans(&mut self) -> Vec<PassPlan> {
+        self.recorder
+            .as_mut()
+            .map(TraceRecorder::take_plans)
+            .unwrap_or_default()
+    }
+
+    /// Append an op to the active recorder, if any.
+    fn record(&mut self, op: PassOp) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(op);
+        }
+    }
+
+    /// Whether the device is in record-only (dry run) mode.
+    fn record_only(&self) -> bool {
+        matches!(
+            self.recorder.as_ref().map(TraceRecorder::mode),
+            Some(RecordMode::RecordOnly)
+        )
     }
 
     // ------------------------------------------------------------------
@@ -229,12 +295,18 @@ impl Gpu {
 
     /// Bind a fragment program (or return to fixed-function with `None`).
     pub fn bind_program(&mut self, program: Option<FragmentProgram>) {
+        self.record(PassOp::BindProgram {
+            program: program.as_ref().map(ProgramInfo::of),
+        });
         self.program = program;
     }
 
     /// Assemble and bind a program from source text.
     pub fn bind_program_source(&mut self, source: &str) -> GpuResult<()> {
         let program = crate::program::parser::assemble(source)?;
+        self.record(PassOp::BindProgram {
+            program: Some(ProgramInfo::of(&program)),
+        });
         self.program = Some(program);
         Ok(())
     }
@@ -249,6 +321,7 @@ impl Gpu {
         if index >= NUM_PARAMS {
             return Err(GpuError::InvalidParameterIndex(index));
         }
+        self.record(PassOp::SetProgramEnv { index, value });
         self.env[index] = value;
         Ok(())
     }
@@ -264,17 +337,25 @@ impl Gpu {
 
     /// Enable/disable the depth test and set its comparison.
     pub fn set_depth_test(&mut self, enabled: bool, func: CompareFunc) {
+        self.record(PassOp::SetDepthTest { enabled, func });
         self.state.depth.test_enabled = enabled;
         self.state.depth.func = func;
     }
 
     /// Enable/disable depth writes.
     pub fn set_depth_write(&mut self, enabled: bool) {
+        self.record(PassOp::SetDepthWrite { enabled });
         self.state.depth.write_enabled = enabled;
     }
 
     /// Configure the stencil test function (`glStencilFunc`).
     pub fn set_stencil_func(&mut self, enabled: bool, func: CompareFunc, reference: u8, mask: u8) {
+        self.record(PassOp::SetStencilFunc {
+            enabled,
+            func,
+            reference,
+            value_mask: mask,
+        });
         self.state.stencil.enabled = enabled;
         self.state.stencil.func = func;
         self.state.stencil.reference = reference;
@@ -284,6 +365,7 @@ impl Gpu {
     /// Configure the stencil operations — the paper's
     /// `StencilOp(Op1, Op2, Op3)`.
     pub fn set_stencil_op(&mut self, fail: StencilOp, zfail: StencilOp, zpass: StencilOp) {
+        self.record(PassOp::SetStencilOp { fail, zfail, zpass });
         self.state.stencil.op_fail = fail;
         self.state.stencil.op_zfail = zfail;
         self.state.stencil.op_zpass = zpass;
@@ -291,11 +373,17 @@ impl Gpu {
 
     /// Restrict which stencil bits are writable.
     pub fn set_stencil_write_mask(&mut self, mask: u8) {
+        self.record(PassOp::SetStencilWriteMask { mask });
         self.state.stencil.write_mask = mask;
     }
 
     /// Configure the alpha test (`glAlphaFunc`).
     pub fn set_alpha_test(&mut self, enabled: bool, func: CompareFunc, reference: f32) {
+        self.record(PassOp::SetAlphaTest {
+            enabled,
+            func,
+            reference,
+        });
         self.state.alpha = AlphaState {
             enabled,
             func,
@@ -305,6 +393,7 @@ impl Gpu {
 
     /// Configure the `EXT_depth_bounds_test` extension.
     pub fn set_depth_bounds(&mut self, enabled: bool, min: f64, max: f64) {
+        self.record(PassOp::SetDepthBounds { enabled, min, max });
         self.state.depth_bounds = DepthBoundsState { enabled, min, max };
     }
 
@@ -315,27 +404,34 @@ impl Gpu {
         if mask != crate::state::DEPTH_COMPARE_MASK_ALL && !self.profile.has_depth_compare_mask {
             return Err(GpuError::UnsupportedFeature("depth compare mask"));
         }
+        self.record(PassOp::SetDepthCompareMask {
+            mask: mask & crate::state::DEPTH_COMPARE_MASK_ALL,
+        });
         self.state.depth.compare_mask = mask & crate::state::DEPTH_COMPARE_MASK_ALL;
         Ok(())
     }
 
     /// Configure the scissor rectangle.
     pub fn set_scissor(&mut self, scissor: ScissorState) {
+        self.record(PassOp::SetScissor(scissor));
         self.state.scissor = scissor;
     }
 
     /// Set the color write mask.
     pub fn set_color_mask(&mut self, mask: ColorMask) {
+        self.record(PassOp::SetColorMask(mask));
         self.state.color_mask = mask;
     }
 
     /// Set the flat primary color used for fixed-function quads.
     pub fn set_draw_color(&mut self, color: [f32; 4]) {
+        self.record(PassOp::SetDrawColor { color });
         self.draw_color = color;
     }
 
     /// Reset all pipeline state to GL defaults.
     pub fn reset_state(&mut self) {
+        self.record(PassOp::ResetState);
         self.state = PipelineState::default();
         self.draw_color = [1.0; 4];
     }
@@ -350,6 +446,10 @@ impl Gpu {
 
     /// Clear the color buffer.
     pub fn clear_color(&mut self, rgba: [f32; 4]) {
+        self.record(PassOp::ClearColor);
+        if self.record_only() {
+            return;
+        }
         self.fb.color.clear(rgba);
         self.stats
             .modeled
@@ -358,6 +458,10 @@ impl Gpu {
 
     /// Clear the depth buffer to a normalized value.
     pub fn clear_depth(&mut self, depth: f64) {
+        self.record(PassOp::ClearDepth { depth });
+        if self.record_only() {
+            return;
+        }
         self.fb.depth.clear(depth);
         self.stats
             .modeled
@@ -366,6 +470,10 @@ impl Gpu {
 
     /// Clear the stencil buffer.
     pub fn clear_stencil(&mut self, value: u8) {
+        self.record(PassOp::ClearStencil { value });
+        if self.record_only() {
+            return;
+        }
         self.fb.stencil.clear(value);
         self.stats
             .modeled
@@ -402,6 +510,20 @@ impl Gpu {
                 if program.texture_units & (1 << unit) != 0 && self.bound_textures[unit].is_none() {
                     return Err(GpuError::UnboundTextureUnit(unit));
                 }
+            }
+        }
+        if self.recorder.is_some() {
+            let pass = DrawPass {
+                state: self.state.clone(),
+                program: self.program.as_ref().map(ProgramInfo::of),
+                env0: self.env[0],
+                depth,
+                rects: rects.len(),
+                occlusion_active: self.occlusion.is_some(),
+            };
+            self.record(PassOp::Draw(pass));
+            if self.record_only() {
+                return Ok(DrawCost::default());
             }
         }
 
@@ -442,6 +564,7 @@ impl Gpu {
                 "begin with a query already active",
             ));
         }
+        self.record(PassOp::BeginOcclusionQuery);
         self.occlusion = Some(0);
         Ok(())
     }
@@ -457,6 +580,10 @@ impl Gpu {
             .occlusion
             .take()
             .ok_or(GpuError::OcclusionQueryMisuse("end without begin"))?;
+        self.record(PassOp::EndOcclusionQuery { sync: true });
+        if self.record_only() {
+            return Ok(0);
+        }
         self.stats.occlusion_readbacks += 1;
         self.stats
             .modeled
@@ -474,6 +601,10 @@ impl Gpu {
             .occlusion
             .take()
             .ok_or(GpuError::OcclusionQueryMisuse("end without begin"))?;
+        self.record(PassOp::EndOcclusionQuery { sync: false });
+        if self.record_only() {
+            return Ok(0);
+        }
         self.stats.occlusion_readbacks += 1;
         Ok(count)
     }
@@ -490,6 +621,10 @@ impl Gpu {
     /// Read back the full depth buffer (normalized values). Costed at PCI
     /// readback bandwidth.
     pub fn read_depth_buffer(&mut self) -> Vec<f64> {
+        self.record(PassOp::ReadDepthBuffer);
+        if self.record_only() {
+            return vec![0.0; self.fb.pixel_count()];
+        }
         let bytes = (self.fb.pixel_count() * 4) as u64;
         self.account_readback(bytes);
         (0..self.fb.pixel_count())
@@ -499,6 +634,10 @@ impl Gpu {
 
     /// Read back the raw 24-bit depth buffer values.
     pub fn read_depth_buffer_raw(&mut self) -> Vec<u32> {
+        self.record(PassOp::ReadDepthBuffer);
+        if self.record_only() {
+            return vec![0; self.fb.pixel_count()];
+        }
         let bytes = (self.fb.pixel_count() * 4) as u64;
         self.account_readback(bytes);
         self.fb.depth.raw_data().to_vec()
@@ -506,6 +645,10 @@ impl Gpu {
 
     /// Read back the stencil buffer.
     pub fn read_stencil_buffer(&mut self) -> Vec<u8> {
+        self.record(PassOp::ReadStencilBuffer);
+        if self.record_only() {
+            return vec![0; self.fb.pixel_count()];
+        }
         let bytes = self.fb.pixel_count() as u64;
         self.account_readback(bytes);
         self.fb.stencil.data().to_vec()
@@ -513,6 +656,10 @@ impl Gpu {
 
     /// Read back the color buffer.
     pub fn read_color_buffer(&mut self) -> Vec<[f32; 4]> {
+        self.record(PassOp::ReadColorBuffer);
+        if self.record_only() {
+            return vec![[0.0; 4]; self.fb.pixel_count()];
+        }
         let bytes = (self.fb.pixel_count() * 16) as u64;
         self.account_readback(bytes);
         self.fb.color.data().to_vec()
@@ -541,14 +688,25 @@ impl Gpu {
             });
         }
         let fb_width = self.fb.width();
+        {
+            let tex = self
+                .textures
+                .get(id.0 as usize)
+                .and_then(Option::as_ref)
+                .ok_or(GpuError::InvalidTexture(id.0))?;
+            if width > tex.width() || height > tex.height() {
+                return Err(GpuError::InvalidTextureSize { width, height });
+            }
+        }
+        self.record(PassOp::CopyColorToTexture);
+        if self.record_only() {
+            return Ok(());
+        }
         let tex = self
             .textures
             .get_mut(id.0 as usize)
             .and_then(Option::as_mut)
             .ok_or(GpuError::InvalidTexture(id.0))?;
-        if width > tex.width() || height > tex.height() {
-            return Err(GpuError::InvalidTextureSize { width, height });
-        }
         let channels = tex.format().channels();
         let tex_width = tex.width();
         let data = tex.data_mut();

@@ -67,6 +67,7 @@ pub mod raster;
 pub mod state;
 pub mod stats;
 pub mod texture;
+pub mod trace;
 
 pub use cost::{DrawCost, HardwareProfile};
 pub use device::Gpu;
@@ -76,3 +77,4 @@ pub use raster::Rect;
 pub use state::{CompareFunc, StencilOp};
 pub use stats::{GpuStats, Phase, PhaseTimes, WorkCounters};
 pub use texture::{Texture, TextureFormat, TextureId};
+pub use trace::{DeviceCaps, DrawPass, PassOp, PassPlan, ProgramInfo, RecordMode, TraceRecorder};

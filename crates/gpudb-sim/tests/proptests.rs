@@ -86,6 +86,60 @@ proptest! {
     }
 
     #[test]
+    fn compare_func_converse_negate_commute(a in 0i64..100, b in 0i64..100, op_idx in 0usize..8) {
+        let op = ALL_OPS[op_idx];
+        // The two involutions commute, and their composition is the
+        // complement of the converse relation.
+        prop_assert_eq!(op.converse().negate(), op.negate().converse());
+        prop_assert_eq!(op.converse().negate().eval(a, b), !op.eval(b, a));
+    }
+
+    #[test]
+    fn stencil_incr_decr_clamp(value in any::<u8>(), reference in any::<u8>()) {
+        // §4.3's CNF protocol relies on Incr/Decr saturating at the ends
+        // of the u8 range rather than wrapping.
+        prop_assert_eq!(StencilOp::Incr.apply(255, reference), 255);
+        prop_assert_eq!(StencilOp::Decr.apply(0, reference), 0);
+        // Monotone by one step everywhere else.
+        let up = StencilOp::Incr.apply(value, reference);
+        prop_assert!(up >= value && up as u16 <= value as u16 + 1);
+        let down = StencilOp::Decr.apply(value, reference);
+        prop_assert!(down <= value && value as u16 <= down as u16 + 1);
+    }
+
+    #[test]
+    fn record_only_draws_cost_nothing(
+        w in 1usize..12,
+        h in 1usize..12,
+        depth in 0.0f32..1.0,
+    ) {
+        use gpudb_sim::trace::RecordMode;
+        let mut gpu = Gpu::geforce_fx_5900(w, h);
+        gpu.set_draw_color([0.25, 0.5, 0.75, 1.0]);
+        gpu.draw_full_quad(0.0).unwrap();
+        let pixels_before = gpu.read_color_buffer();
+        let counters_before = gpu.stats().counters();
+
+        gpu.enable_tracing(RecordMode::RecordOnly);
+        gpu.begin_plan("dry-run");
+        gpu.set_depth_test(true, CompareFunc::Greater);
+        gpu.set_draw_color([1.0, 0.0, 0.0, 1.0]);
+        gpu.begin_occlusion_query().unwrap();
+        gpu.draw_full_quad(depth).unwrap();
+        let count = gpu.end_occlusion_query().unwrap();
+        let plans = gpu.take_plans();
+        gpu.disable_tracing();
+
+        // The dry run recorded the plan but shaded nothing, counted
+        // nothing and left framebuffer and counters untouched.
+        prop_assert_eq!(count, 0);
+        prop_assert_eq!(plans.len(), 1);
+        prop_assert_eq!(plans[0].draw_count(), 1);
+        prop_assert_eq!(gpu.stats().counters(), counters_before);
+        prop_assert_eq!(gpu.read_color_buffer(), pixels_before);
+    }
+
+    #[test]
     fn stencil_write_mask_partitions_bits(
         stored in any::<u8>(),
         reference in any::<u8>(),

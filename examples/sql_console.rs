@@ -58,7 +58,9 @@ impl Catalog {
             return;
         };
         if stmt.explain {
-            match gpudb::core::query::explain(table, &stmt.query) {
+            // Record-only dry run: per-pass depth/stencil detail with
+            // nothing shaded and no modeled cost accrued.
+            match gpudb::core::query::explain_with_device(gpu, table, &stmt.query) {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => eprintln!("planning error: {e}"),
             }
