@@ -8,11 +8,18 @@
 //!
 //! ```text
 //! bench-smoke [--out PATH] [--baseline PATH] [--tolerance FRACTION]
-//!             [--bless] [--no-gate]
+//!             [--bless] [--no-gate] [--trace-out DIR]
 //! ```
+//!
+//! `--trace-out DIR` additionally re-runs every experiment with a span
+//! sink attached (cost-free; the gated report is untouched) and writes
+//! `<id>.trace.json` / `<id>.folded` / `<id>.spans.jsonl` per
+//! experiment — see `docs/observability.md`.
 
 use gpudb_bench::regress::{self, DEFAULT_TOLERANCE};
 use gpudb_bench::smoke::{self, SmokeReport};
+use gpudb_bench::traceout;
+use gpudb_obs::TraceLevel;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,6 +29,7 @@ struct Args {
     tolerance: f64,
     bless: bool,
     gate: bool,
+    trace_out: Option<PathBuf>,
 }
 
 fn default_baseline() -> PathBuf {
@@ -36,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         tolerance: DEFAULT_TOLERANCE,
         bless: false,
         gate: true,
+        trace_out: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -59,10 +68,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--bless" => args.bless = true,
             "--no-gate" => args.gate = false,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--help" | "-h" => {
                 println!(
                     "bench-smoke [--out PATH] [--baseline PATH] [--tolerance FRACTION] \
-                     [--bless] [--no-gate]"
+                     [--bless] [--no-gate] [--trace-out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -88,6 +98,18 @@ fn run() -> Result<ExitCode, String> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
     std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out.display()))?;
     println!("wrote {}", args.out.display());
+
+    if let Some(dir) = &args.trace_out {
+        // Span collection is cost-free, so these re-runs reproduce the
+        // gated report exactly; the traces are pure observability output.
+        for exp in &report.experiments {
+            let (_, tree) = smoke::run_one_spanned(&exp.id, TraceLevel::Passes)
+                .map_err(|e| format!("trace run {}: {e}", exp.id))?;
+            let paths = traceout::write_all(dir, &exp.id, &tree)
+                .map_err(|e| format!("write traces for {}: {e}", exp.id))?;
+            println!("wrote {} ({} spans)", paths[0].display(), tree.span_count());
+        }
+    }
 
     if args.bless {
         if let Some(dir) = args.baseline.parent() {

@@ -9,7 +9,13 @@
 //!
 //! ```text
 //! lint-plans [--strict] [--out PATH] [--experiment ID]... [--self-test-broken]
+//!            [--trace-out DIR]
 //! ```
+//!
+//! `--trace-out DIR` additionally writes span-trace artifacts
+//! (`<id>.trace.json` / `<id>.folded` / `<id>.spans.jsonl`) for each
+//! linted experiment, so a lint finding can be read next to the
+//! timeline of the passes that produced it.
 //!
 //! `--self-test-broken` checks the validator itself: it lints a
 //! deliberately broken plan (an occlusion query that is never ended)
@@ -17,7 +23,9 @@
 //! runs it so a silently toothless linter cannot pass the gate.
 
 use gpudb_bench::smoke::{self, SCHEMA_VERSION, SMOKE_EXPERIMENTS};
+use gpudb_bench::traceout;
 use gpudb_lint::{Linter, Report};
+use gpudb_obs::TraceLevel;
 use gpudb_sim::state::{ColorMask, PipelineState};
 use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan};
 use serde::Serialize;
@@ -57,6 +65,7 @@ struct Args {
     out: Option<PathBuf>,
     experiments: Vec<String>,
     self_test_broken: bool,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         experiments: Vec::new(),
         self_test_broken: false,
+        trace_out: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -77,10 +87,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             "--experiment" => args.experiments.push(value("--experiment")?),
             "--self-test-broken" => args.self_test_broken = true,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--help" | "-h" => {
                 println!(
                     "lint-plans [--strict] [--out PATH] [--experiment ID]... \
-                     [--self-test-broken]"
+                     [--self-test-broken] [--trace-out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -163,6 +174,17 @@ fn run() -> Result<ExitCode, String> {
             for d in &plan_report.diagnostics {
                 println!("  {}: {d}", plan_report.label);
             }
+        }
+        if let Some(dir) = &args.trace_out {
+            let (_, tree) = smoke::run_one_spanned(id, TraceLevel::Passes)
+                .map_err(|e| format!("trace run {id}: {e}"))?;
+            let paths = traceout::write_all(dir, id, &tree)
+                .map_err(|e| format!("write traces for {id}: {e}"))?;
+            println!(
+                "  wrote {} ({} spans)",
+                paths[0].display(),
+                tree.span_count()
+            );
         }
         experiments.push(ExperimentLint {
             id: id.clone(),

@@ -13,11 +13,33 @@
 
 use gpudb_bench::experiments::{self, ALL_EXPERIMENTS};
 use gpudb_bench::report::Scale;
+use gpudb_bench::{smoke, traceout};
+use gpudb_obs::TraceLevel;
 use std::process::ExitCode;
+
+/// The smoke counterpart of a figure id, if one exists. Traces are
+/// collected from the smoke-scale run of the same operator family (the
+/// span tree's *shape* is scale-independent; only durations grow), so
+/// `--trace-out` stays cheap even at `--scale paper`.
+fn smoke_counterpart(id: &str) -> Option<&'static str> {
+    match id {
+        "fig2" => Some("fig2_copy"),
+        "fig3" => Some("fig3_predicate"),
+        "fig4" => Some("fig4_range"),
+        "fig5" => Some("fig5_multiattr_cnf"),
+        "fig6" => Some("fig6_semilinear"),
+        "fig7" => Some("fig7_kth"),
+        "fig8" => Some("fig8_median"),
+        "fig9" => Some("fig9_kth_selective"),
+        "fig10" => Some("fig10_accumulator"),
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut json_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -38,9 +60,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace-out" => match args.next() {
+                Some(dir) => trace_dir = Some(dir),
+                None => {
+                    eprintln!("--trace-out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: reproduce [--scale small|paper] [--json DIR] [EXPERIMENT...]\n\
+                    "usage: reproduce [--scale small|paper] [--json DIR] [--trace-out DIR] \
+                     [EXPERIMENT...]\n\
                      experiments: {ALL_EXPERIMENTS:?} (default: all)"
                 );
                 return ExitCode::SUCCESS;
@@ -90,6 +120,26 @@ fn main() -> ExitCode {
                             }
                         }
                         Err(e) => eprintln!("cannot serialize {id}: {e}"),
+                    }
+                }
+                if let Some(dir) = &trace_dir {
+                    match smoke_counterpart(id) {
+                        Some(smoke_id) => {
+                            match smoke::run_one_spanned(smoke_id, TraceLevel::Passes) {
+                                Ok((_, tree)) => match traceout::write_all(
+                                    std::path::Path::new(dir),
+                                    smoke_id,
+                                    &tree,
+                                ) {
+                                    Ok(paths) => println!("   wrote {}", paths[0].display()),
+                                    Err(e) => eprintln!("cannot write traces for {id}: {e}"),
+                                },
+                                Err(e) => eprintln!("trace run for {id} failed: {e}"),
+                            }
+                        }
+                        None => println!(
+                            "   (no smoke counterpart for {id}; no trace artifacts written)"
+                        ),
                     }
                 }
             }

@@ -14,6 +14,7 @@ pub mod harness;
 pub mod regress;
 pub mod report;
 pub mod smoke;
+pub mod traceout;
 
 pub use report::{FigureResult, Scale, Series};
 pub use smoke::{SmokeExperiment, SmokeReport};

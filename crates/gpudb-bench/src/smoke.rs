@@ -10,9 +10,11 @@
 //! against a checked-in baseline (`gpudb-bench/results/baselines/`).
 
 use crate::harness::Workload;
-use gpudb_core::metrics::{ops, MetricsRecord};
+use gpudb_core::metrics::{ops, MetricsLog, MetricsRecord};
 use gpudb_core::query::{execute, Aggregate, BoolExpr, Query};
 use gpudb_core::{EngineResult, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+use gpudb_obs::{SpanCollector, SpanTree, TraceLevel};
+use gpudb_sim::span::SpanKind;
 use gpudb_sim::trace::{PassPlan, RecordMode};
 use gpudb_sim::CompareFunc;
 use serde::{Deserialize, Serialize};
@@ -142,20 +144,39 @@ pub fn run_all() -> EngineResult<SmokeReport> {
 
 /// Run a single smoke experiment by id.
 pub fn run_one(id: &str) -> EngineResult<SmokeExperiment> {
-    Ok(run_inner(id, false)?.0)
+    Ok(run_inner(id, false, None)?.0)
 }
 
 /// Run a single smoke experiment with the device recording every pass
 /// plan (bit-passive: the outcome is identical to [`run_one`]'s), and
 /// return the plans alongside it — the input to `gpudb-lint`.
 pub fn run_one_traced(id: &str) -> EngineResult<(SmokeExperiment, Vec<PassPlan>)> {
-    run_inner(id, true)
+    let (experiment, plans, _) = run_inner(id, true, None)?;
+    Ok((experiment, plans))
 }
 
-fn run_inner(id: &str, trace: bool) -> EngineResult<(SmokeExperiment, Vec<PassPlan>)> {
+/// Run a single smoke experiment with a span sink attached (cost-free:
+/// the outcome is identical to [`run_one`]'s) and return the collected
+/// span tree — one root span named after the experiment, with the
+/// operator spans of every metrics record nested beneath it.
+pub fn run_one_spanned(id: &str, level: TraceLevel) -> EngineResult<(SmokeExperiment, SpanTree)> {
+    let (experiment, _, tree) = run_inner(id, false, Some(level))?;
+    Ok((experiment, tree.unwrap_or_default()))
+}
+
+fn run_inner(
+    id: &str,
+    trace: bool,
+    span_level: Option<TraceLevel>,
+) -> EngineResult<(SmokeExperiment, Vec<PassPlan>, Option<SpanTree>)> {
     let mut w = Workload::tcpip(SMOKE_RECORDS)?;
     if trace {
         w.gpu.enable_tracing(RecordMode::RecordAndExecute);
+    }
+    if let Some(level) = span_level {
+        w.gpu.attach_span_sink(Box::new(SpanCollector::new(level)));
+        // Root the whole experiment so exporters get one stack per run.
+        w.gpu.span_begin(SpanKind::Query, id);
     }
     let mut out = Outcome::new();
     match id {
@@ -182,6 +203,15 @@ fn run_inner(id: &str, trace: bool) -> EngineResult<(SmokeExperiment, Vec<PassPl
     } else {
         Vec::new()
     };
+    let tree = if span_level.is_some() {
+        w.gpu.span_end();
+        w.gpu
+            .take_span_sink()
+            .and_then(SpanCollector::recover)
+            .map(SpanCollector::finish)
+    } else {
+        None
+    };
     let experiment = SmokeExperiment {
         id: id.to_string(),
         input_records: SMOKE_RECORDS as u64,
@@ -193,7 +223,7 @@ fn run_inner(id: &str, trace: bool) -> EngineResult<(SmokeExperiment, Vec<PassPl
         checksum: out.checksum.hex(),
         metrics: out.metrics,
     };
-    Ok((experiment, plans))
+    Ok((experiment, plans, tree))
 }
 
 /// Figure 2: `CopyToDepth` of each attribute. The copy has no
@@ -391,6 +421,39 @@ pub fn summary_table(report: &SmokeReport, baseline: Option<&SmokeReport>) -> St
             exp.checksum
         );
     }
+    out.push('\n');
+    out.push_str(&operator_rollup(report));
+    out
+}
+
+/// Render the per-operator rollup across every experiment's metrics,
+/// merged by [`MetricsLog::by_operator`] (stable first-appearance order).
+pub fn operator_rollup(report: &SmokeReport) -> String {
+    use std::fmt::Write;
+    let mut log = MetricsLog::new();
+    for exp in &report.experiments {
+        for record in &exp.metrics {
+            log.push(record.clone());
+        }
+    }
+    let total_ns = log.modeled_total_ns().max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>6} {:>14} {:>12} {:>8}",
+        "operator", "calls", "input records", "modeled ms", "% total"
+    );
+    for summary in log.by_operator() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>14} {:>12.3} {:>7.1}%",
+            summary.operator,
+            summary.invocations,
+            summary.input_records,
+            summary.modeled_ns.total() as f64 / 1e6,
+            summary.modeled_ns.total() as f64 / total_ns as f64 * 100.0,
+        );
+    }
     out
 }
 
@@ -446,6 +509,42 @@ mod tests {
             "{:?}",
             plans.iter().map(|p| &p.label).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn spanned_run_is_bit_identical_and_collects_spans() {
+        let (spanned, tree) = run_one_spanned("fig4_range", TraceLevel::Passes).unwrap();
+        let plain = run_one("fig4_range").unwrap();
+        // The span sink must not perturb results, metrics or modeled cost.
+        assert_eq!(spanned, plain);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].name, "fig4_range");
+        // One operator span per metrics record, in order.
+        let ops = tree.spans_of_kind(SpanKind::Operator);
+        assert_eq!(ops.len(), plain.metrics.len());
+        for (span, record) in ops.iter().zip(&plain.metrics) {
+            assert_eq!(span.name, record.operator);
+        }
+        // Two spanned runs export byte-identical traces.
+        let (_, tree2) = run_one_spanned("fig4_range", TraceLevel::Passes).unwrap();
+        assert_eq!(
+            gpudb_obs::chrome::trace_json(&tree),
+            gpudb_obs::chrome::trace_json(&tree2)
+        );
+    }
+
+    #[test]
+    fn operator_rollup_merges_across_experiments() {
+        let report = SmokeReport {
+            schema_version: SCHEMA_VERSION,
+            seed: 1,
+            records: 10,
+            experiments: vec![run_one("fig4_range").unwrap()],
+        };
+        let text = operator_rollup(&report);
+        assert!(text.contains("operator"), "{text}");
+        assert!(text.contains("range/"), "{text}");
+        assert!(text.contains("% total"), "{text}");
     }
 
     #[test]

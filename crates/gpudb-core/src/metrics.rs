@@ -15,7 +15,8 @@
 //! [`crate::query::QueryOutput::metrics`].
 
 use crate::error::EngineResult;
-use gpudb_sim::{Gpu, Phase, PhaseTimes, WorkCounters};
+use gpudb_sim::span::SpanKind;
+use gpudb_sim::{Gpu, PhaseTimes, WorkCounters};
 use serde::{Deserialize, Serialize};
 
 /// Modeled time split by phase, in integer nanoseconds. Rounding the
@@ -38,14 +39,35 @@ pub struct PhaseNanos {
 
 impl PhaseNanos {
     /// Convert a phase-time delta (seconds) to whole nanoseconds.
+    ///
+    /// Rounding each phase independently can make [`PhaseNanos::total`]
+    /// disagree with the rounded whole-delta by a few nanoseconds, so the
+    /// phases are reconciled by largest remainder: floor each phase, then
+    /// hand out the nanoseconds still missing from the rounded total to
+    /// the phases with the largest fractional parts (ties broken by phase
+    /// order, deterministically). `total()` therefore always equals the
+    /// rounded sum of the phase times.
     pub fn from_phases(delta: &PhaseTimes) -> PhaseNanos {
-        let ns = |p: Phase| (delta.get(p) * 1e9).round() as u64;
+        use gpudb_sim::stats::ALL_PHASES;
+        // Guard against tiny negative deltas from float cancellation.
+        let raw: [f64; 5] = ALL_PHASES.map(|p| (delta.get(p) * 1e9).max(0.0));
+        let mut ns: [u64; 5] = raw.map(|v| v as u64); // truncation == floor for v >= 0
+        let target = (delta.total().max(0.0) * 1e9).round() as u64;
+        let assigned: u64 = ns.iter().sum();
+        let mut order: [usize; 5] = [0, 1, 2, 3, 4];
+        order.sort_by(|&a, &b| {
+            let frac = |i: usize| raw[i] - raw[i] as u64 as f64;
+            frac(b).partial_cmp(&frac(a)).unwrap().then(a.cmp(&b))
+        });
+        for i in 0..target.saturating_sub(assigned) as usize {
+            ns[order[i % 5]] += 1;
+        }
         PhaseNanos {
-            upload: ns(Phase::Upload),
-            copy_to_depth: ns(Phase::CopyToDepth),
-            compute: ns(Phase::Compute),
-            readback: ns(Phase::Readback),
-            other: ns(Phase::Other),
+            upload: ns[0],
+            copy_to_depth: ns[1],
+            compute: ns[2],
+            readback: ns[3],
+            other: ns[4],
         }
     }
 
@@ -106,9 +128,13 @@ pub fn observe<T>(
     if gpu.is_recording() {
         gpu.begin_plan(&operator);
     }
+    // When a span sink is attached, the same boundary opens an operator
+    // span; the device's leaf spans (passes, readbacks) nest inside it.
+    gpu.span_begin(SpanKind::Operator, &operator);
     let counters_before = gpu.stats().counters();
     let modeled_before = gpu.stats().modeled;
     let result = op(gpu);
+    gpu.span_end();
     let stats = gpu.stats();
     let record = MetricsRecord {
         operator,
@@ -159,6 +185,48 @@ impl MetricsLog {
             .map(MetricsRecord::modeled_total_ns)
             .sum()
     }
+
+    /// Merge the log per operator name: counters, phase times and input
+    /// sizes are summed across every record with the same operator. The
+    /// returned summaries are in first-appearance order, so the output is
+    /// stable across runs.
+    pub fn by_operator(&self) -> Vec<OperatorSummary> {
+        let mut out: Vec<OperatorSummary> = Vec::new();
+        for record in &self.records {
+            match out.iter_mut().find(|s| s.operator == record.operator) {
+                Some(summary) => {
+                    summary.invocations += 1;
+                    summary.input_records += record.input_records;
+                    summary.counters = summary.counters.plus(&record.counters);
+                    summary.modeled_ns = summary.modeled_ns.plus(&record.modeled_ns);
+                }
+                None => out.push(OperatorSummary {
+                    operator: record.operator.clone(),
+                    invocations: 1,
+                    input_records: record.input_records,
+                    counters: record.counters,
+                    modeled_ns: record.modeled_ns,
+                }),
+            }
+        }
+        out
+    }
+}
+
+/// Per-operator aggregation of a [`MetricsLog`], from
+/// [`MetricsLog::by_operator`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorSummary {
+    /// Operator name shared by the merged records.
+    pub operator: String,
+    /// Number of records merged.
+    pub invocations: u64,
+    /// Summed input sizes.
+    pub input_records: u64,
+    /// Summed work counters.
+    pub counters: WorkCounters,
+    /// Summed modeled phase times.
+    pub modeled_ns: PhaseNanos,
 }
 
 /// Instrumented entry points for the paper's operator families. Each is a
@@ -307,7 +375,7 @@ pub mod ops {
 mod tests {
     use super::*;
     use crate::table::GpuTable;
-    use gpudb_sim::CompareFunc;
+    use gpudb_sim::{CompareFunc, Phase};
 
     fn setup(n: u32) -> (Gpu, GpuTable, Vec<u32>) {
         let values: Vec<u32> = (0..n).map(|i| (i * 37) % 500).collect();
@@ -376,6 +444,76 @@ mod tests {
         assert_eq!(ns.total(), 1_502_500);
         let doubled = ns.plus(&ns);
         assert_eq!(doubled.total(), 3_005_000);
+    }
+
+    #[test]
+    fn phase_nanos_total_matches_rounded_delta() {
+        // The historical bug: per-phase rounding drifted from the rounded
+        // whole-delta. 0.4 ns + 0.4 ns rounds per-phase to 0 + 0 but the
+        // 0.8 ns total rounds to 1.
+        let mut phases = PhaseTimes::default();
+        phases.add(Phase::Compute, 0.4e-9);
+        phases.add(Phase::Readback, 0.4e-9);
+        let ns = PhaseNanos::from_phases(&phases);
+        assert_eq!(ns.total(), 1);
+        // The missing nanosecond goes to a phase that has time, not to a
+        // zero phase.
+        assert_eq!(ns.upload, 0);
+        assert_eq!(ns.other, 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+        #[test]
+        fn phase_nanos_total_is_the_rounded_phase_sum(
+            upload in 0.0f64..1e-2,
+            copy in 0.0f64..1e-2,
+            compute in 0.0f64..1e-2,
+            readback in 0.0f64..1e-2,
+            o in 0.0f64..1e-2,
+        ) {
+            let mut phases = PhaseTimes::default();
+            phases.add(Phase::Upload, upload);
+            phases.add(Phase::CopyToDepth, copy);
+            phases.add(Phase::Compute, compute);
+            phases.add(Phase::Readback, readback);
+            phases.add(Phase::Other, o);
+            let ns = PhaseNanos::from_phases(&phases);
+            proptest::prop_assert_eq!(ns.total(), (phases.total() * 1e9).round() as u64);
+            // Each phase is within 1 ns of its independent rounding.
+            let near = |v: u64, s: f64| v.abs_diff((s * 1e9).round() as u64) <= 1;
+            proptest::prop_assert!(near(ns.upload, upload));
+            proptest::prop_assert!(near(ns.copy_to_depth, copy));
+            proptest::prop_assert!(near(ns.compute, compute));
+            proptest::prop_assert!(near(ns.readback, readback));
+            proptest::prop_assert!(near(ns.other, o));
+        }
+    }
+
+    #[test]
+    fn by_operator_merges_in_first_appearance_order() {
+        let (mut gpu, t, _) = setup(200);
+        let mut log = MetricsLog::new();
+        let (_, r) = ops::predicate_count(&mut gpu, &t, 0, CompareFunc::Less, 100).unwrap();
+        log.push(r);
+        let (_, r) = ops::range_count_op(&mut gpu, &t, 0, 10, 90).unwrap();
+        log.push(r);
+        let (_, r) = ops::predicate_count(&mut gpu, &t, 0, CompareFunc::Greater, 50).unwrap();
+        log.push(r);
+
+        let summary = log.by_operator();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].operator, "predicate/compare_count");
+        assert_eq!(summary[0].invocations, 2);
+        assert_eq!(summary[0].input_records, 400);
+        assert_eq!(summary[1].operator, "range/range_count");
+        assert_eq!(summary[1].invocations, 1);
+        // Merging conserves counters and modeled time.
+        let total: u64 = summary.iter().map(|s| s.modeled_ns.total()).sum();
+        assert_eq!(total, log.modeled_total_ns());
+        let draws: u64 = summary.iter().map(|s| s.counters.draw_calls).sum();
+        let raw_draws: u64 = log.records.iter().map(|r| r.counters.draw_calls).sum();
+        assert_eq!(draws, raw_draws);
     }
 
     #[test]

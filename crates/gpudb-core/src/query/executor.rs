@@ -12,6 +12,8 @@ use crate::semilinear::semilinear_select;
 use crate::table::GpuTable;
 use crate::timing::{measure, OpTiming};
 use gpudb_lint::{Linter, Severity};
+use gpudb_obs::{Span, SpanCollector, SpanTree, TraceLevel};
+use gpudb_sim::span::SpanKind;
 use gpudb_sim::{Gpu, RecordMode};
 
 /// One aggregate's result value.
@@ -41,6 +43,10 @@ pub struct QueryOutput {
     /// One deterministic metrics record per executed plan stage (the
     /// selection, then each aggregate in SELECT-list order).
     pub metrics: Vec<MetricsRecord>,
+    /// The span tree collected while executing, when
+    /// [`ExecuteOptions::trace`] was set and the executor owned the sink
+    /// (a caller that attached its own sink keeps the spans instead).
+    pub trace: Option<SpanTree>,
 }
 
 /// Execute the selection plan, returning the selection (None = all
@@ -95,14 +101,22 @@ pub struct ExecuteOptions {
     /// Recording is bit-passive: results, modeled cost and work
     /// counters are identical with or without it.
     pub validate_plans: bool,
+    /// Collect a hierarchical span trace (`query → stage → operator →
+    /// pass`) on the modeled clock while executing, at the given detail
+    /// level, and return it in [`QueryOutput::trace`]. Tracing is
+    /// cost-transparent: results, counters and modeled times are
+    /// identical with or without it.
+    pub trace: Option<TraceLevel>,
 }
 
 impl Default for ExecuteOptions {
     /// Validate in debug builds, skip in release (opt back in by
-    /// setting [`ExecuteOptions::validate_plans`] explicitly).
+    /// setting [`ExecuteOptions::validate_plans`] explicitly); no span
+    /// tracing.
     fn default() -> ExecuteOptions {
         ExecuteOptions {
             validate_plans: cfg!(debug_assertions),
+            trace: None,
         }
     }
 }
@@ -115,6 +129,36 @@ pub fn execute(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<Q
 
 /// Execute a query with explicit [`ExecuteOptions`].
 pub fn execute_with_options(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    query: &Query,
+    options: ExecuteOptions,
+) -> EngineResult<QueryOutput> {
+    // Attach a span collector unless the caller brought its own sink (a
+    // bench harness tracing a whole workload keeps the spans itself).
+    let owns_sink = match options.trace {
+        Some(level) if !gpu.has_span_sink() => {
+            gpu.attach_span_sink(Box::new(SpanCollector::new(level)));
+            true
+        }
+        _ => false,
+    };
+    let result = execute_validated(gpu, table, query, options);
+    if !owns_sink {
+        return result;
+    }
+    let tree = gpu
+        .take_span_sink()
+        .and_then(SpanCollector::recover)
+        .map(SpanCollector::finish);
+    let mut output = result?;
+    output.trace = tree;
+    Ok(output)
+}
+
+/// Execution with optional plan validation, shared by
+/// [`execute_with_options`] (which layers span tracing on top).
+fn execute_validated(
     gpu: &mut Gpu,
     table: &GpuTable,
     query: &Query,
@@ -160,11 +204,14 @@ fn execute_inner(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult
     let plan = plan_selection(table, query.filter.as_ref())?;
     let total_records = table.record_count() as u64;
     let mut records: Vec<MetricsRecord> = Vec::with_capacity(1 + query.aggregates.len());
+    gpu.span_begin(SpanKind::Query, "query");
     let (result, timing) = measure(gpu, |gpu| -> EngineResult<_> {
+        gpu.span_begin(SpanKind::Stage, "selection");
         let (sel_result, sel_record) =
             metrics::observe(gpu, plan_operator(&plan), total_records, |gpu| {
                 execute_selection(gpu, table, &plan)
             });
+        gpu.span_end();
         let (selection, matched) = sel_result?;
         records.push(sel_record);
         let sel_ref = selection.as_ref();
@@ -172,15 +219,19 @@ fn execute_inner(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult
         for agg in &query.aggregates {
             // Aggregates consume the selected records, so their input
             // size is the match count, not the table size.
+            let stage = format!("aggregate:{}", agg.label());
+            gpu.span_begin(SpanKind::Stage, &stage);
             let (value_result, agg_record) =
                 metrics::observe(gpu, format!("agg/{}", agg.label()), matched, |gpu| {
                     compute_aggregate(gpu, table, agg, matched, sel_ref)
                 });
+            gpu.span_end();
             rows.push((agg.label(), value_result?));
             records.push(agg_record);
         }
         Ok((matched, rows))
     });
+    gpu.span_end();
     let (matched, rows) = result?;
     let selectivity = if table.record_count() == 0 {
         0.0
@@ -193,6 +244,7 @@ fn execute_inner(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult
         rows,
         timing,
         metrics: records,
+        trace: None,
     })
 }
 
@@ -263,28 +315,33 @@ pub fn explain(table: &GpuTable, query: &Query) -> EngineResult<String> {
     out.push_str(&plan.describe(table));
     out.push('\n');
     for agg in &query.aggregates {
-        let line = match agg {
-            Aggregate::Count => "AGGREGATE: COUNT(*) via occlusion query (free with the \
-                                 selection pass)"
-                .to_string(),
-            Aggregate::Sum(c) | Aggregate::Avg(c) => format!(
-                "AGGREGATE: {} via bitwise Accumulator (one TestBit pass per bit of {c})",
-                agg.label()
-            ),
-            Aggregate::Min(c)
-            | Aggregate::Max(c)
-            | Aggregate::Median(c)
-            | Aggregate::KthLargest(c, _)
-            | Aggregate::KthSmallest(c, _)
-            | Aggregate::Percentile(c, _) => format!(
-                "AGGREGATE: {} via KthLargest bit descent (one pass per bit of {c})",
-                agg.label()
-            ),
-        };
-        out.push_str(&line);
+        out.push_str("AGGREGATE: ");
+        out.push_str(&describe_aggregate(agg));
         out.push('\n');
     }
     Ok(out)
+}
+
+/// How an aggregate maps onto the paper's primitives, for EXPLAIN output.
+fn describe_aggregate(agg: &Aggregate) -> String {
+    match agg {
+        Aggregate::Count => {
+            "COUNT(*) via occlusion query (free with the selection pass)".to_string()
+        }
+        Aggregate::Sum(c) | Aggregate::Avg(c) => format!(
+            "{} via bitwise Accumulator (one TestBit pass per bit of {c})",
+            agg.label()
+        ),
+        Aggregate::Min(c)
+        | Aggregate::Max(c)
+        | Aggregate::Median(c)
+        | Aggregate::KthLargest(c, _)
+        | Aggregate::KthSmallest(c, _)
+        | Aggregate::Percentile(c, _) => format!(
+            "{} via KthLargest bit descent (one pass per bit of {c})",
+            agg.label()
+        ),
+    }
 }
 
 /// EXPLAIN with per-pass device state: on top of [`explain`]'s plan
@@ -322,6 +379,150 @@ impl QueryOutput {
     pub fn value(&self, label: &str) -> Option<&AggValue> {
         self.rows.iter().find(|(l, _)| l == label).map(|(_, v)| v)
     }
+}
+
+/// Milliseconds with six fixed decimals — exact nanoseconds rendered in
+/// integer arithmetic, so the text is byte-deterministic.
+fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000, ns % 1_000_000)
+}
+
+/// Percentage of `total` with one decimal (`"100.0"` when `total` is 0
+/// and `part` equals it, `"0.0"` for an empty total otherwise).
+fn fmt_pct(part: u64, total: u64) -> String {
+    if total == 0 {
+        "0.0".to_string()
+    } else {
+        format!("{:.1}", part as f64 * 100.0 / total as f64)
+    }
+}
+
+/// Non-zero phases of a record, e.g.
+/// `phases[copy-to-depth 0.123456 ms · compute 0.045000 ms]`.
+fn phases_line(ns: &crate::metrics::PhaseNanos) -> String {
+    let parts: Vec<String> = [
+        ("upload", ns.upload),
+        ("copy-to-depth", ns.copy_to_depth),
+        ("compute", ns.compute),
+        ("readback", ns.readback),
+        ("other", ns.other),
+    ]
+    .iter()
+    .filter(|(_, v)| *v != 0)
+    .map(|(name, v)| format!("{name} {} ms", fmt_ms(*v)))
+    .collect();
+    if parts.is_empty() {
+        "phases[-]".to_string()
+    } else {
+        format!("phases[{}]", parts.join(" · "))
+    }
+}
+
+/// Group an operator span's leaf children by name:
+/// `3× pass:TestBit 0.030000 ms · 1× readback:occlusion-sync ...`.
+fn passes_line(operator_span: &Span) -> String {
+    let mut groups: Vec<(&str, u64, u64)> = Vec::new();
+    for child in &operator_span.children {
+        match groups.iter_mut().find(|g| g.0 == child.name) {
+            Some(group) => {
+                group.1 += 1;
+                group.2 += child.duration_ns();
+            }
+            None => groups.push((&child.name, 1, child.duration_ns())),
+        }
+    }
+    groups
+        .iter()
+        .map(|(name, count, ns)| format!("{count}× {name} {} ms", fmt_ms(*ns)))
+        .collect::<Vec<_>>()
+        .join(" · ")
+}
+
+/// EXPLAIN ANALYZE: execute the query for real with span tracing enabled
+/// and render the plan tree annotated with measured per-stage phase
+/// times, work counters, selectivity, and each stage's share of the
+/// total modeled time. Every number derives from the deterministic cost
+/// model, so the report is byte-identical across runs.
+pub fn explain_analyze(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<String> {
+    let options = ExecuteOptions {
+        trace: Some(TraceLevel::Passes),
+        ..ExecuteOptions::default()
+    };
+    let output = execute_with_options(gpu, table, query, options)?;
+    let plan = plan_selection(table, query.filter.as_ref())?;
+    Ok(render_analyze(table, &plan, query, &output))
+}
+
+/// Render the [`explain_analyze`] report from an executed query.
+fn render_analyze(
+    table: &GpuTable,
+    plan: &SelectionPlan,
+    query: &Query,
+    output: &QueryOutput,
+) -> String {
+    let total_ns: u64 = output
+        .metrics
+        .iter()
+        .map(MetricsRecord::modeled_total_ns)
+        .sum();
+    let mut out = format!(
+        "EXPLAIN ANALYZE {}: {} records · matched {} (selectivity {:.2}%) · modeled {} ms\n",
+        table.name(),
+        table.record_count(),
+        output.matched,
+        output.selectivity * 100.0,
+        fmt_ms(total_ns),
+    );
+    let operator_spans: Vec<&Span> = output
+        .trace
+        .as_ref()
+        .map(|tree| tree.spans_of_kind(SpanKind::Operator))
+        .unwrap_or_default();
+    for (i, record) in output.metrics.iter().enumerate() {
+        let last = i + 1 == output.metrics.len();
+        let (branch, cont) = if last {
+            ("└─ ", "     ")
+        } else {
+            ("├─ ", "│    ")
+        };
+        let headline = if i == 0 {
+            format!("SELECTION: {}", plan.describe(table))
+        } else {
+            match query.aggregates.get(i - 1) {
+                Some(agg) => format!("AGGREGATE: {}", describe_aggregate(agg)),
+                None => record.operator.clone(),
+            }
+        };
+        out.push_str(branch);
+        out.push_str(&headline);
+        out.push('\n');
+        out.push_str(cont);
+        out.push_str(&format!(
+            "[{}] {} ms · {}% of query · in {} · {}\n",
+            record.operator,
+            fmt_ms(record.modeled_total_ns()),
+            fmt_pct(record.modeled_total_ns(), total_ns),
+            record.input_records,
+            phases_line(&record.modeled_ns),
+        ));
+        let c = &record.counters;
+        out.push_str(cont);
+        out.push_str(&format!(
+            "draws {} · fragments {} · shaded {} · instructions {} · sync readbacks {}\n",
+            c.draw_calls,
+            c.fragments_generated,
+            c.fragments_shaded,
+            c.program_instructions,
+            c.occlusion_readbacks,
+        ));
+        if let Some(span) = operator_spans.get(i) {
+            if !span.children.is_empty() {
+                out.push_str(cont);
+                out.push_str(&format!("passes: {}\n", passes_line(span)));
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -636,6 +837,7 @@ mod tests {
             &q,
             ExecuteOptions {
                 validate_plans: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -647,6 +849,7 @@ mod tests {
             &q,
             ExecuteOptions {
                 validate_plans: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -670,6 +873,7 @@ mod tests {
             &q,
             ExecuteOptions {
                 validate_plans: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -716,10 +920,161 @@ mod tests {
                 &q,
                 ExecuteOptions {
                     validate_plans: true,
+                    ..Default::default()
                 },
             );
             assert!(out.is_ok(), "filter {filter:?}: {:?}", out.err());
         }
+    }
+
+    #[test]
+    fn tracing_collects_nested_spans_per_stage() {
+        let (mut gpu, t, _, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("a".into())],
+            BoolExpr::pred("a", GreaterEqual, 50).and(BoolExpr::pred("b", Less, 100)),
+        );
+        let out = execute_with_options(
+            &mut gpu,
+            &t,
+            &q,
+            ExecuteOptions {
+                validate_plans: false,
+                trace: Some(TraceLevel::Passes),
+            },
+        )
+        .unwrap();
+        assert!(!gpu.has_span_sink(), "sink must be detached");
+        let tree = out.trace.as_ref().expect("trace requested");
+        assert_eq!(tree.roots.len(), 1);
+        let query_span = &tree.roots[0];
+        assert_eq!(query_span.kind, SpanKind::Query);
+        // One stage per metrics record, one operator span per stage, in
+        // record order.
+        assert_eq!(query_span.children.len(), out.metrics.len());
+        for (stage, record) in query_span.children.iter().zip(&out.metrics) {
+            assert_eq!(stage.kind, SpanKind::Stage);
+            assert_eq!(stage.children.len(), 1);
+            let op = &stage.children[0];
+            assert_eq!(op.kind, SpanKind::Operator);
+            assert_eq!(op.name, record.operator);
+            assert_eq!(op.counters, record.counters);
+            // Span duration and record total both derive from the modeled
+            // clock; rounding at different boundaries may differ by 1 ns.
+            assert!(op.duration_ns().abs_diff(record.modeled_total_ns()) <= 1);
+        }
+        // The selection's operator span contains device leaf spans.
+        let sel_op = &query_span.children[0].children[0];
+        assert!(
+            sel_op.children.iter().any(|s| s.kind == SpanKind::Pass),
+            "{:?}",
+            sel_op.children.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tracing_is_cost_transparent() {
+        let q = Query::filtered(
+            vec![Aggregate::Count, Aggregate::Median("a".into())],
+            BoolExpr::pred("a", Less, 120),
+        );
+        let run = |trace: Option<TraceLevel>| {
+            let (mut gpu, t, _, _) = setup();
+            let mut out = execute_with_options(
+                &mut gpu,
+                &t,
+                &q,
+                ExecuteOptions {
+                    validate_plans: false,
+                    trace,
+                },
+            )
+            .unwrap();
+            out.timing.wall = 0.0;
+            out.trace = None;
+            out
+        };
+        assert_eq!(run(None), run(Some(TraceLevel::Full)));
+    }
+
+    #[test]
+    fn explain_analyze_renders_measured_plan_tree() {
+        // The acceptance query: multi-predicate CNF filter + aggregates.
+        let q = Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("b".into())],
+            BoolExpr::pred("a", GreaterEqual, 50).and(BoolExpr::pred("b", Less, 100)),
+        );
+        let (mut gpu, t, _, _) = setup();
+        let text = explain_analyze(&mut gpu, &t, &q).unwrap();
+        assert!(text.contains("EXPLAIN ANALYZE t:"), "{text}");
+        assert!(text.contains("SELECTION: CONJUNCTION"), "{text}");
+        assert!(text.contains("[filter/cnf]"), "{text}");
+        assert!(text.contains("[agg/SUM(b)]"), "{text}");
+        assert!(text.contains("% of query"), "{text}");
+        assert!(text.contains("passes:"), "{text}");
+        assert!(text.contains("phases["), "{text}");
+
+        // Per-node modeled times sum to the query's metrics-log total:
+        // the header's total is exactly the sum of the per-stage totals.
+        let (mut gpu, t, _, _) = setup();
+        let out = execute_with_options(
+            &mut gpu,
+            &t,
+            &q,
+            ExecuteOptions {
+                validate_plans: false,
+                trace: Some(TraceLevel::Passes),
+            },
+        )
+        .unwrap();
+        let mut log = crate::metrics::MetricsLog::new();
+        for r in &out.metrics {
+            log.push(r.clone());
+        }
+        let total = log.modeled_total_ns();
+        assert!(total > 0);
+        assert!(
+            text.contains(&format!("modeled {} ms", fmt_ms(total))),
+            "{text}"
+        );
+        for record in &out.metrics {
+            assert!(
+                text.contains(&format!(
+                    "[{}] {} ms",
+                    record.operator,
+                    fmt_ms(record.modeled_total_ns())
+                )),
+                "{text}"
+            );
+        }
+
+        // Determinism: a fresh device renders the identical report.
+        let (mut gpu, t, _, _) = setup();
+        assert_eq!(text, explain_analyze(&mut gpu, &t, &q).unwrap());
+    }
+
+    #[test]
+    fn caller_owned_sink_keeps_the_spans() {
+        let (mut gpu, t, _, _) = setup();
+        gpu.attach_span_sink(Box::new(SpanCollector::new(TraceLevel::Passes)));
+        let q = Query::filtered(vec![Aggregate::Count], BoolExpr::pred("a", Less, 100));
+        let out = execute_with_options(
+            &mut gpu,
+            &t,
+            &q,
+            ExecuteOptions {
+                validate_plans: false,
+                trace: Some(TraceLevel::Passes),
+            },
+        )
+        .unwrap();
+        assert!(out.trace.is_none(), "caller's sink owns the spans");
+        assert!(gpu.has_span_sink(), "caller's sink stays attached");
+        let tree = SpanCollector::recover(gpu.take_span_sink().unwrap())
+            .unwrap()
+            .finish();
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].kind, SpanKind::Query);
     }
 
     #[test]

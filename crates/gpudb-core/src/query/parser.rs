@@ -3,7 +3,7 @@
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
-//! query     := EXPLAIN? SELECT agg (',' agg)* FROM ident (WHERE orexpr)?
+//! query     := (EXPLAIN ANALYZE?)? SELECT agg (',' agg)* FROM ident (WHERE orexpr)?
 //! agg       := COUNT '(' '*' ')'
 //!            | (SUM|AVG|MIN|MAX|MEDIAN) '(' ident ')'
 //!            | (KTH_LARGEST|KTH_SMALLEST) '(' ident ',' int ')'
@@ -35,6 +35,10 @@ pub struct Statement {
     /// Whether the statement was prefixed with EXPLAIN (describe the plan
     /// instead of executing).
     pub explain: bool,
+    /// Whether the statement was prefixed with EXPLAIN ANALYZE (execute
+    /// for real and annotate the plan tree with measured modeled times).
+    /// Implies [`Statement::explain`].
+    pub analyze: bool,
 }
 
 /// Parse a SQL-ish statement.
@@ -207,6 +211,12 @@ impl Parser {
         } else {
             false
         };
+        let analyze = if explain && self.peek_keyword("ANALYZE") {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
         self.expect_keyword("SELECT")?;
         let mut aggregates = vec![self.aggregate()?];
         while self.peek() == Some(&Token::Symbol(",")) {
@@ -225,6 +235,7 @@ impl Parser {
             table,
             query: Query { aggregates, filter },
             explain,
+            analyze,
         })
     }
 
@@ -519,8 +530,20 @@ mod tests {
     fn explain_prefix() {
         let stmt = parse("EXPLAIN SELECT COUNT(*) FROM t WHERE a < 5").unwrap();
         assert!(stmt.explain);
+        assert!(!stmt.analyze);
         let stmt = parse("SELECT COUNT(*) FROM t").unwrap();
         assert!(!stmt.explain);
+        assert!(!stmt.analyze);
         assert!(parse("EXPLAIN EXPLAIN SELECT COUNT(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_prefix() {
+        let stmt = parse("EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE a < 5").unwrap();
+        assert!(stmt.explain);
+        assert!(stmt.analyze);
+        // ANALYZE without EXPLAIN is not a prefix, and double ANALYZE fails.
+        assert!(parse("ANALYZE SELECT COUNT(*) FROM t").is_err());
+        assert!(parse("EXPLAIN ANALYZE ANALYZE SELECT COUNT(*) FROM t").is_err());
     }
 }

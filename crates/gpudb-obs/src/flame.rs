@@ -1,0 +1,66 @@
+//! Folded-stack flamegraph export.
+//!
+//! One line per span in `frame;frame;frame weight` form, where the weight
+//! is the span's *self* time in modeled nanoseconds — the format consumed
+//! by Brendan Gregg's `flamegraph.pl` and by `inferno-flamegraph`.
+//! Frame separators (`;`) inside span names are replaced with `:` so the
+//! stack structure survives arbitrary names.
+
+use crate::SpanTree;
+
+/// Render a span tree as folded-stack lines, one span per line.
+pub fn folded(tree: &SpanTree) -> String {
+    let mut out = String::new();
+    tree.walk(|span, path| {
+        for frame in path {
+            out.push_str(&sanitize(frame));
+            out.push(';');
+        }
+        out.push_str(&sanitize(&span.name));
+        out.push(' ');
+        out.push_str(&span.self_ns().to_string());
+        out.push('\n');
+    });
+    out
+}
+
+/// Make a span name safe for use as a folded-stack frame.
+fn sanitize(name: &str) -> String {
+    name.replace([';', '\n'], ":")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+    use gpudb_sim::span::SpanKind;
+    use gpudb_sim::stats::WorkCounters;
+
+    fn span(name: &str, start: u64, end: u64, children: Vec<Span>) -> Span {
+        Span {
+            kind: SpanKind::Operator,
+            name: name.to_string(),
+            start_ns: start,
+            end_ns: end,
+            counters: WorkCounters::default(),
+            events: Vec::new(),
+            children,
+        }
+    }
+
+    #[test]
+    fn emits_self_time_per_stack() {
+        let tree = SpanTree {
+            roots: vec![span(
+                "query",
+                0,
+                100,
+                vec![
+                    span("op;a", 10, 40, Vec::new()),
+                    span("op-b", 40, 90, Vec::new()),
+                ],
+            )],
+        };
+        assert_eq!(folded(&tree), "query 20\nquery;op:a 30\nquery;op-b 50\n");
+    }
+}

@@ -1,0 +1,110 @@
+//! JSONL span dump: one flat JSON object per span, depth-first.
+//!
+//! Unlike the Chrome export this keeps the full counter struct and the
+//! span's ancestry path, making it convenient for `grep`/`jq`-style
+//! analysis and for diffing traces between runs.
+
+use crate::{SpanEvent, SpanTree};
+use gpudb_sim::span::SpanKind;
+use gpudb_sim::stats::WorkCounters;
+use serde::Serialize;
+
+/// One exported span, flattened for line-oriented consumption.
+///
+/// Owned fields only: the vendored `serde_derive` does not handle
+/// generic (lifetime-parameterized) types.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+struct SpanLine {
+    /// Nesting depth (`0` for roots).
+    depth: usize,
+    /// Ancestor names joined with `/`, excluding this span.
+    path: String,
+    /// Span kind name.
+    kind: String,
+    /// Span name.
+    name: String,
+    /// Modeled clock at open, nanoseconds.
+    start_ns: u64,
+    /// Modeled clock at close, nanoseconds.
+    end_ns: u64,
+    /// Inclusive duration, nanoseconds.
+    duration_ns: u64,
+    /// Duration not covered by children, nanoseconds.
+    self_ns: u64,
+    /// Work counter deltas over the span.
+    counters: WorkCounters,
+    /// Instant events inside the span.
+    events: Vec<SpanEvent>,
+}
+
+/// Render a span tree as JSONL, one span per line.
+///
+/// # Panics
+/// Never: serialization of the plain-data [`SpanLine`] cannot fail.
+pub fn spans(tree: &SpanTree) -> String {
+    let mut out = String::new();
+    tree.walk(|span, path| {
+        let line = SpanLine {
+            depth: path.len(),
+            path: path.join("/"),
+            kind: span.kind.name().to_string(),
+            name: span.name.clone(),
+            start_ns: span.start_ns,
+            end_ns: span.end_ns,
+            duration_ns: span.duration_ns(),
+            self_ns: span.self_ns(),
+            counters: span.counters,
+            events: span.events.clone(),
+        };
+        out.push_str(&serde_json::to_string(&line).expect("span serialization"));
+        out.push('\n');
+    });
+    out
+}
+
+/// All distinct span kinds, useful to documentation and tests.
+pub const ALL_KINDS: [SpanKind; 7] = [
+    SpanKind::Query,
+    SpanKind::Stage,
+    SpanKind::Operator,
+    SpanKind::Pass,
+    SpanKind::Readback,
+    SpanKind::Upload,
+    SpanKind::Other,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    #[test]
+    fn one_line_per_span_with_paths() {
+        let tree = SpanTree {
+            roots: vec![Span {
+                kind: SpanKind::Query,
+                name: "q".to_string(),
+                start_ns: 0,
+                end_ns: 10,
+                counters: WorkCounters::default(),
+                events: Vec::new(),
+                children: vec![Span {
+                    kind: SpanKind::Operator,
+                    name: "op".to_string(),
+                    start_ns: 2,
+                    end_ns: 8,
+                    counters: WorkCounters::default(),
+                    events: Vec::new(),
+                    children: Vec::new(),
+                }],
+            }],
+        };
+        let text = spans(&tree);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"q\""));
+        assert!(lines[0].contains("\"depth\":0"));
+        assert!(lines[1].contains("\"path\":\"q\""));
+        assert!(lines[1].contains("\"duration_ns\":6"));
+    }
+}

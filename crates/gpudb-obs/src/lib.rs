@@ -1,0 +1,394 @@
+//! # gpudb-obs — deterministic hierarchical tracing for gpudb
+//!
+//! The simulated device ([`gpudb_sim::device::Gpu`]) drives a
+//! [`SpanSink`](gpudb_sim::span::SpanSink) with begin/end pairs and instant
+//! events, timestamped on the **modeled clock** (cumulative modeled cost in
+//! nanoseconds) rather than wall clock. This crate provides the standard
+//! sink — [`SpanCollector`] — which assembles those callbacks into a
+//! [`SpanTree`] (`query → plan stage → operator → pass/readback/upload`),
+//! plus three exporters:
+//!
+//! * [`chrome::trace_json`] — Chrome trace-event JSON, loadable in
+//!   Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
+//! * [`flame::folded`] — folded-stack lines for `flamegraph.pl` /
+//!   `inferno-flamegraph`;
+//! * [`jsonl::spans`] — one flat JSON object per span, for ad-hoc
+//!   analysis with line-oriented tools.
+//!
+//! Because every timestamp derives from the deterministic cost model, two
+//! runs of the same workload produce **byte-identical** exports; CI
+//! enforces this on the smoke experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpudb_obs::{SpanCollector, TraceLevel};
+//! use gpudb_sim::device::Gpu;
+//! use gpudb_sim::span::SpanKind;
+//!
+//! let mut gpu = Gpu::geforce_fx_5900(4, 4);
+//! gpu.attach_span_sink(Box::new(SpanCollector::new(TraceLevel::Passes)));
+//! gpu.span_begin(SpanKind::Operator, "count");
+//! gpu.draw_full_quad(0.5).unwrap();
+//! gpu.span_end();
+//! let tree = SpanCollector::recover(gpu.take_span_sink().unwrap())
+//!     .unwrap()
+//!     .finish();
+//! assert_eq!(tree.roots.len(), 1);
+//! assert_eq!(tree.roots[0].children[0].name, "pass:fixed-function");
+//! let json = gpudb_obs::chrome::trace_json(&tree);
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chrome;
+pub mod flame;
+pub mod jsonl;
+
+use gpudb_sim::span::{SpanKind, SpanSink};
+use gpudb_sim::stats::WorkCounters;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+
+/// A zero-duration event attached to a span (clear, occlusion begin, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Event name, e.g. `clear:depth`.
+    pub name: String,
+    /// Free-form detail (often empty; occlusion ends carry the count).
+    pub detail: String,
+    /// Modeled-clock timestamp in nanoseconds.
+    pub at_ns: u64,
+}
+
+/// One node of the span tree: a named interval on the modeled clock with
+/// the device work it enclosed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Level in the hierarchy.
+    pub kind: SpanKind,
+    /// Span name, e.g. `filter/cnf` or `pass:TestBit`.
+    pub name: String,
+    /// Modeled clock at open, nanoseconds.
+    pub start_ns: u64,
+    /// Modeled clock at close, nanoseconds.
+    pub end_ns: u64,
+    /// Device work counters accumulated while the span was open.
+    pub counters: WorkCounters,
+    /// Instant events recorded inside this span (only at
+    /// [`TraceLevel::Full`]).
+    pub events: Vec<SpanEvent>,
+    /// Child spans, in open order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Inclusive duration on the modeled clock.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Duration not covered by child spans (flamegraph "self time").
+    pub fn self_ns(&self) -> u64 {
+        let children: u64 = self.children.iter().map(Span::duration_ns).sum();
+        self.duration_ns().saturating_sub(children)
+    }
+
+    /// Number of spans in this subtree, including `self`.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(Span::span_count).sum::<usize>()
+    }
+
+    /// Depth-first visit of this subtree; `depth` starts at `0` for
+    /// `self` and the `path` slice holds the names of the ancestors.
+    fn walk_inner<'a>(&'a self, path: &mut Vec<&'a str>, f: &mut dyn FnMut(&'a Span, &[&str])) {
+        f(self, path);
+        path.push(&self.name);
+        for child in &self.children {
+            child.walk_inner(path, f);
+        }
+        path.pop();
+    }
+}
+
+/// A forest of completed spans, as assembled by [`SpanCollector`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanTree {
+    /// Top-level spans, in open order.
+    pub roots: Vec<Span>,
+}
+
+impl SpanTree {
+    /// Total number of spans in the tree.
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(Span::span_count).sum()
+    }
+
+    /// Depth-first visit of every span. The callback receives the span and
+    /// the names of its ancestors, outermost first.
+    pub fn walk<'a>(&'a self, mut f: impl FnMut(&'a Span, &[&str])) {
+        let mut path = Vec::new();
+        for root in &self.roots {
+            root.walk_inner(&mut path, &mut f);
+        }
+    }
+
+    /// All spans of a given kind, in depth-first order.
+    pub fn spans_of_kind(&self, kind: SpanKind) -> Vec<&Span> {
+        let mut out = Vec::new();
+        self.walk(|span, _| {
+            if span.kind == kind {
+                out.push(span);
+            }
+        });
+        out
+    }
+}
+
+/// How much of the span hierarchy a [`SpanCollector`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Query, plan-stage, and operator spans only.
+    Operators,
+    /// Everything down to device leaves (passes, readbacks, uploads).
+    Passes,
+    /// All spans plus instant events (clears, occlusion markers).
+    Full,
+}
+
+impl TraceLevel {
+    /// Whether spans of `kind` are kept at this level.
+    fn keeps(self, kind: SpanKind) -> bool {
+        match self {
+            TraceLevel::Operators => kind.depth() <= SpanKind::Operator.depth(),
+            TraceLevel::Passes | TraceLevel::Full => true,
+        }
+    }
+}
+
+/// An open span under construction.
+struct Frame {
+    span: Span,
+    kept: bool,
+    begin_counters: WorkCounters,
+}
+
+/// The standard [`SpanSink`]: assembles device callbacks into a
+/// [`SpanTree`], filtering by [`TraceLevel`].
+///
+/// Attach with [`gpudb_sim::device::Gpu::attach_span_sink`], detach with
+/// `take_span_sink`, downcast back with [`SpanCollector::recover`], and
+/// call [`SpanCollector::finish`] to obtain the tree. The collector
+/// tolerates unbalanced calls: an `end` with nothing open is ignored, and
+/// `finish` closes any spans an error path left open at the last observed
+/// clock value.
+pub struct SpanCollector {
+    level: TraceLevel,
+    roots: Vec<Span>,
+    stack: Vec<Frame>,
+    last_clock_ns: u64,
+}
+
+impl SpanCollector {
+    /// Create an empty collector keeping spans at `level`.
+    pub fn new(level: TraceLevel) -> SpanCollector {
+        SpanCollector {
+            level,
+            roots: Vec::new(),
+            stack: Vec::new(),
+            last_clock_ns: 0,
+        }
+    }
+
+    /// The level this collector filters at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Downcast a sink taken from the device back into a collector.
+    /// Returns `None` when the sink is some other [`SpanSink`] impl.
+    pub fn recover(sink: Box<dyn SpanSink>) -> Option<SpanCollector> {
+        sink.into_any().downcast::<SpanCollector>().ok().map(|b| *b)
+    }
+
+    /// Close any still-open spans and return the assembled tree.
+    pub fn finish(mut self) -> SpanTree {
+        while !self.stack.is_empty() {
+            let clock = self.last_clock_ns;
+            let counters = self
+                .stack
+                .last()
+                .map(|f| f.begin_counters)
+                .unwrap_or_default();
+            // Close with a zero counter delta: we cannot know the device's
+            // counters here, only that the span ends at the last clock.
+            self.close_top(clock, &counters);
+        }
+        SpanTree { roots: self.roots }
+    }
+
+    /// Pop the top frame, stamp its end, and attach it (or its children,
+    /// when filtered) to the parent.
+    fn close_top(&mut self, clock_ns: u64, counters: &WorkCounters) {
+        let Some(mut frame) = self.stack.pop() else {
+            return;
+        };
+        frame.span.end_ns = clock_ns.max(frame.span.start_ns);
+        frame.span.counters = counters.since(&frame.begin_counters);
+        let dest = match self.stack.last_mut() {
+            Some(parent) => &mut parent.span.children,
+            None => &mut self.roots,
+        };
+        if frame.kept {
+            dest.push(frame.span);
+        } else {
+            // A filtered span is spliced out; its kept children move up.
+            dest.append(&mut frame.span.children);
+        }
+    }
+}
+
+impl SpanSink for SpanCollector {
+    fn begin_span(&mut self, kind: SpanKind, name: &str, clock_ns: u64, counters: &WorkCounters) {
+        self.last_clock_ns = clock_ns;
+        self.stack.push(Frame {
+            span: Span {
+                kind,
+                name: name.to_string(),
+                start_ns: clock_ns,
+                end_ns: clock_ns,
+                counters: WorkCounters::default(),
+                events: Vec::new(),
+                children: Vec::new(),
+            },
+            kept: self.level.keeps(kind),
+            begin_counters: *counters,
+        });
+    }
+
+    fn end_span(&mut self, clock_ns: u64, counters: &WorkCounters) {
+        self.last_clock_ns = clock_ns;
+        self.close_top(clock_ns, counters);
+    }
+
+    fn instant(&mut self, name: &str, detail: &str, clock_ns: u64) {
+        self.last_clock_ns = clock_ns;
+        if self.level != TraceLevel::Full {
+            return;
+        }
+        if let Some(frame) = self.stack.last_mut() {
+            frame.span.events.push(SpanEvent {
+                name: name.to_string(),
+                detail: detail.to_string(),
+                at_ns: clock_ns,
+            });
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(draws: u64) -> WorkCounters {
+        WorkCounters {
+            draw_calls: draws,
+            ..WorkCounters::default()
+        }
+    }
+
+    #[test]
+    fn collector_nests_spans_and_diffs_counters() {
+        let mut c = SpanCollector::new(TraceLevel::Full);
+        c.begin_span(SpanKind::Query, "q", 0, &counters(0));
+        c.begin_span(SpanKind::Operator, "op", 10, &counters(1));
+        c.begin_span(SpanKind::Pass, "pass:TestBit", 10, &counters(1));
+        c.end_span(40, &counters(2));
+        c.instant("clear:depth", "", 40);
+        c.end_span(50, &counters(2));
+        c.end_span(60, &counters(2));
+        let tree = c.finish();
+
+        assert_eq!(tree.span_count(), 3);
+        let q = &tree.roots[0];
+        assert_eq!((q.start_ns, q.end_ns, q.duration_ns()), (0, 60, 60));
+        assert_eq!(q.counters.draw_calls, 2);
+        let op = &q.children[0];
+        assert_eq!(op.name, "op");
+        assert_eq!(op.counters.draw_calls, 1);
+        assert_eq!(op.self_ns(), 40 - 30);
+        assert_eq!(
+            op.events,
+            vec![SpanEvent {
+                name: "clear:depth".into(),
+                detail: "".into(),
+                at_ns: 40,
+            }]
+        );
+        let pass = &op.children[0];
+        assert_eq!(pass.duration_ns(), 30);
+        assert_eq!(pass.self_ns(), 30);
+    }
+
+    #[test]
+    fn operator_level_splices_out_pass_leaves() {
+        let mut c = SpanCollector::new(TraceLevel::Operators);
+        c.begin_span(SpanKind::Operator, "op", 0, &counters(0));
+        c.begin_span(SpanKind::Pass, "pass:A", 0, &counters(0));
+        c.end_span(5, &counters(1));
+        c.instant("clear:depth", "", 5);
+        c.end_span(9, &counters(1));
+        let tree = c.finish();
+        assert_eq!(tree.span_count(), 1);
+        let op = &tree.roots[0];
+        assert!(op.children.is_empty());
+        assert!(op.events.is_empty(), "events dropped below Full");
+        assert_eq!(op.duration_ns(), 9);
+    }
+
+    #[test]
+    fn unbalanced_calls_are_tolerated() {
+        let mut c = SpanCollector::new(TraceLevel::Passes);
+        c.end_span(5, &counters(0)); // end with nothing open: ignored
+        c.begin_span(SpanKind::Query, "q", 10, &counters(0));
+        c.begin_span(SpanKind::Operator, "op", 20, &counters(0));
+        // finish() closes both open spans at the last observed clock.
+        let tree = c.finish();
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].end_ns, 20);
+        assert_eq!(tree.roots[0].children[0].end_ns, 20);
+    }
+
+    #[test]
+    fn recover_roundtrip() {
+        let sink: Box<dyn SpanSink> = Box::new(SpanCollector::new(TraceLevel::Full));
+        let c = SpanCollector::recover(sink).unwrap();
+        assert_eq!(c.level(), TraceLevel::Full);
+    }
+
+    #[test]
+    fn tree_walk_reports_paths() {
+        let mut c = SpanCollector::new(TraceLevel::Passes);
+        c.begin_span(SpanKind::Query, "q", 0, &counters(0));
+        c.begin_span(SpanKind::Operator, "op", 0, &counters(0));
+        c.end_span(1, &counters(0));
+        c.end_span(2, &counters(0));
+        let tree = c.finish();
+        let mut seen = Vec::new();
+        tree.walk(|span, path| seen.push((span.name.clone(), path.join(";"))));
+        assert_eq!(
+            seen,
+            vec![
+                ("q".to_string(), String::new()),
+                ("op".to_string(), "q".to_string())
+            ]
+        );
+        assert_eq!(tree.spans_of_kind(SpanKind::Operator).len(), 1);
+    }
+}

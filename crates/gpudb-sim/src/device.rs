@@ -7,6 +7,7 @@ use crate::cost::{DrawCost, HardwareProfile};
 use crate::error::{GpuError, GpuResult};
 use crate::program::isa::{FragmentProgram, NUM_PARAMS, NUM_TEXTURE_UNITS};
 use crate::raster::{rasterize, DrawInputs, Rect};
+use crate::span::{SpanKind, SpanSink};
 use crate::state::{
     AlphaState, ColorMask, CompareFunc, DepthBoundsState, PipelineState, ScissorState, StencilOp,
 };
@@ -42,6 +43,7 @@ pub struct Gpu {
     vram_budget: usize,
     vram_used: usize,
     recorder: Option<TraceRecorder>,
+    span_sink: Option<Box<dyn SpanSink>>,
 }
 
 impl Gpu {
@@ -67,6 +69,7 @@ impl Gpu {
             vram_budget: DEFAULT_VRAM_BYTES,
             vram_used,
             recorder: None,
+            span_sink: None,
         }
     }
 
@@ -168,6 +171,73 @@ impl Gpu {
     }
 
     // ------------------------------------------------------------------
+    // Span tracing
+    // ------------------------------------------------------------------
+
+    /// Attach a span sink. The device will open leaf spans around every
+    /// costed operation and emit instant events for cheap calls, all
+    /// timestamped on the modeled clock ([`Gpu::modeled_clock_ns`]) so the
+    /// resulting trace is deterministic. Attaching a sink never changes
+    /// results, statistics, or modeled cost.
+    pub fn attach_span_sink(&mut self, sink: Box<dyn SpanSink>) {
+        self.span_sink = Some(sink);
+    }
+
+    /// Detach and return the span sink, if any.
+    pub fn take_span_sink(&mut self) -> Option<Box<dyn SpanSink>> {
+        self.span_sink.take()
+    }
+
+    /// Whether a span sink is attached.
+    pub fn has_span_sink(&self) -> bool {
+        self.span_sink.is_some()
+    }
+
+    /// The modeled clock: cumulative modeled cost in nanoseconds, rounded
+    /// to the nearest integer. Deterministic, unlike wall clock.
+    pub fn modeled_clock_ns(&self) -> u64 {
+        (self.stats.modeled.total() * 1e9).round() as u64
+    }
+
+    /// Open a span on the attached sink (no-op without one). Higher layers
+    /// use this for query / plan-stage / operator spans; the device itself
+    /// opens the pass / readback / upload leaves.
+    pub fn span_begin(&mut self, kind: SpanKind, name: &str) {
+        if self.span_sink.is_none() {
+            return;
+        }
+        let clock = self.modeled_clock_ns();
+        let counters = self.stats.counters();
+        if let Some(sink) = &mut self.span_sink {
+            sink.begin_span(kind, name, clock, &counters);
+        }
+    }
+
+    /// Close the most recently opened span on the attached sink (no-op
+    /// without one).
+    pub fn span_end(&mut self) {
+        if self.span_sink.is_none() {
+            return;
+        }
+        let clock = self.modeled_clock_ns();
+        let counters = self.stats.counters();
+        if let Some(sink) = &mut self.span_sink {
+            sink.end_span(clock, &counters);
+        }
+    }
+
+    /// Emit an instant event on the attached sink (no-op without one).
+    fn span_instant(&mut self, name: &str, detail: &str) {
+        if self.span_sink.is_none() {
+            return;
+        }
+        let clock = self.modeled_clock_ns();
+        if let Some(sink) = &mut self.span_sink {
+            sink.instant(name, detail, clock);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Phase attribution & statistics
     // ------------------------------------------------------------------
 
@@ -216,10 +286,12 @@ impl Gpu {
             }
         };
         self.vram_used += bytes;
+        self.span_begin(SpanKind::Upload, "upload:texture");
         self.stats.bytes_uploaded += bytes as u64;
         self.stats
             .modeled
             .add(self.phase, self.profile.upload_seconds(bytes as u64));
+        self.span_end();
         self.stats
             .wall
             .add(self.phase, wall.elapsed().as_secs_f64());
@@ -269,10 +341,12 @@ impl Gpu {
             .ok_or(GpuError::InvalidTexture(id.0))?;
         tex.update_sub_image(x, y, width, height, data)?;
         let bytes = data.len() as u64 * 4;
+        self.span_begin(SpanKind::Upload, "upload:subimage");
         self.stats.bytes_uploaded += bytes;
         self.stats
             .modeled
             .add(self.phase, self.profile.upload_seconds(bytes));
+        self.span_end();
         Ok(())
     }
 
@@ -454,6 +528,7 @@ impl Gpu {
         self.stats
             .modeled
             .add(self.phase, self.profile.draw_call_overhead_s);
+        self.span_instant("clear:color", "");
     }
 
     /// Clear the depth buffer to a normalized value.
@@ -466,6 +541,7 @@ impl Gpu {
         self.stats
             .modeled
             .add(self.phase, self.profile.draw_call_overhead_s);
+        self.span_instant("clear:depth", "");
     }
 
     /// Clear the stencil buffer.
@@ -478,6 +554,7 @@ impl Gpu {
         self.stats
             .modeled
             .add(self.phase, self.profile.draw_call_overhead_s);
+        self.span_instant("clear:stencil", "");
     }
 
     // ------------------------------------------------------------------
@@ -527,6 +604,13 @@ impl Gpu {
             }
         }
 
+        if self.span_sink.is_some() {
+            let label = match &self.program {
+                Some(program) => format!("pass:{}", crate::trace::program_name(&program.source)),
+                None => "pass:fixed-function".to_string(),
+            };
+            self.span_begin(SpanKind::Pass, &label);
+        }
         let wall = Instant::now();
         let texture_refs: Vec<Option<&Texture>> = self
             .bound_textures
@@ -550,6 +634,7 @@ impl Gpu {
         if let Some(acc) = &mut self.occlusion {
             *acc += cost.passed;
         }
+        self.span_end();
         Ok(cost)
     }
 
@@ -566,6 +651,7 @@ impl Gpu {
         }
         self.record(PassOp::BeginOcclusionQuery);
         self.occlusion = Some(0);
+        self.span_instant("occlusion-begin", "");
         Ok(())
     }
 
@@ -584,10 +670,12 @@ impl Gpu {
         if self.record_only() {
             return Ok(0);
         }
+        self.span_begin(SpanKind::Readback, "readback:occlusion-sync");
         self.stats.occlusion_readbacks += 1;
         self.stats
             .modeled
             .add(Phase::Readback, self.profile.occlusion_sync_latency_s);
+        self.span_end();
         Ok(count)
     }
 
@@ -606,6 +694,10 @@ impl Gpu {
             return Ok(0);
         }
         self.stats.occlusion_readbacks += 1;
+        if self.has_span_sink() {
+            let detail = count.to_string();
+            self.span_instant("occlusion-end-async", &detail);
+        }
         Ok(count)
     }
 
@@ -626,7 +718,9 @@ impl Gpu {
             return vec![0.0; self.fb.pixel_count()];
         }
         let bytes = (self.fb.pixel_count() * 4) as u64;
+        self.span_begin(SpanKind::Readback, "readback:depth");
         self.account_readback(bytes);
+        self.span_end();
         (0..self.fb.pixel_count())
             .map(|i| self.fb.depth.get(i))
             .collect()
@@ -639,7 +733,9 @@ impl Gpu {
             return vec![0; self.fb.pixel_count()];
         }
         let bytes = (self.fb.pixel_count() * 4) as u64;
+        self.span_begin(SpanKind::Readback, "readback:depth");
         self.account_readback(bytes);
+        self.span_end();
         self.fb.depth.raw_data().to_vec()
     }
 
@@ -650,7 +746,9 @@ impl Gpu {
             return vec![0; self.fb.pixel_count()];
         }
         let bytes = self.fb.pixel_count() as u64;
+        self.span_begin(SpanKind::Readback, "readback:stencil");
         self.account_readback(bytes);
+        self.span_end();
         self.fb.stencil.data().to_vec()
     }
 
@@ -661,7 +759,9 @@ impl Gpu {
             return vec![[0.0; 4]; self.fb.pixel_count()];
         }
         let bytes = (self.fb.pixel_count() * 16) as u64;
+        self.span_begin(SpanKind::Readback, "readback:color");
         self.account_readback(bytes);
+        self.span_end();
         self.fb.color.data().to_vec()
     }
 
@@ -718,9 +818,11 @@ impl Gpu {
             }
         }
         let fragments = (width * height) as u64;
+        self.span_begin(SpanKind::Pass, "copy:color-to-texture");
         self.stats
             .modeled
             .add(self.phase, self.profile.raster_seconds(fragments, 0, 0));
+        self.span_end();
         Ok(())
     }
 
@@ -1057,6 +1159,101 @@ mod tests {
             let expected = (0..8u32).filter(|v| v >> bit & 1 == 1).count() as u64;
             assert_eq!(count, expected, "bit {bit}");
         }
+    }
+
+    /// Records every sink callback for white-box assertions.
+    #[derive(Default)]
+    struct RecordingSink {
+        events: Vec<String>,
+        clocks: Vec<u64>,
+    }
+
+    impl crate::span::SpanSink for RecordingSink {
+        fn begin_span(
+            &mut self,
+            kind: crate::span::SpanKind,
+            name: &str,
+            clock_ns: u64,
+            _counters: &crate::stats::WorkCounters,
+        ) {
+            self.events.push(format!("begin {} {name}", kind.name()));
+            self.clocks.push(clock_ns);
+        }
+
+        fn end_span(&mut self, clock_ns: u64, _counters: &crate::stats::WorkCounters) {
+            self.events.push("end".to_string());
+            self.clocks.push(clock_ns);
+        }
+
+        fn instant(&mut self, name: &str, detail: &str, clock_ns: u64) {
+            self.events.push(format!("instant {name} {detail}"));
+            self.clocks.push(clock_ns);
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn span_sink_sees_leaf_spans_on_the_modeled_clock() {
+        let mut gpu = Gpu::geforce_fx_5900(4, 4);
+        gpu.attach_span_sink(Box::new(RecordingSink::default()));
+        assert!(gpu.has_span_sink());
+
+        gpu.create_texture(tex(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        gpu.set_depth_test(true, CompareFunc::Less);
+        gpu.begin_occlusion_query().unwrap();
+        gpu.draw_full_quad(0.5).unwrap();
+        gpu.end_occlusion_query().unwrap();
+        gpu.read_stencil_buffer();
+
+        let sink = gpu
+            .take_span_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<RecordingSink>()
+            .unwrap();
+        assert_eq!(
+            sink.events,
+            vec![
+                "begin upload upload:texture",
+                "end",
+                "instant occlusion-begin ",
+                "begin pass pass:fixed-function",
+                "end",
+                "begin readback readback:occlusion-sync",
+                "end",
+                "begin readback readback:stencil",
+                "end",
+            ]
+        );
+        // Timestamps are the modeled clock: non-decreasing, and each
+        // begin/end pair brackets a cost charge (end > begin).
+        assert!(sink.clocks.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sink.clocks[1] > sink.clocks[0], "upload charged");
+        assert_eq!(
+            *sink.clocks.last().unwrap(),
+            gpu.modeled_clock_ns(),
+            "final end matches the device clock"
+        );
+    }
+
+    #[test]
+    fn span_sink_is_cost_transparent() {
+        let run = |traced: bool| {
+            let mut gpu = Gpu::geforce_fx_5900(4, 4);
+            if traced {
+                gpu.attach_span_sink(Box::new(RecordingSink::default()));
+            }
+            gpu.create_texture(tex(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+            gpu.set_depth_test(true, CompareFunc::Less);
+            gpu.begin_occlusion_query().unwrap();
+            gpu.draw_full_quad(0.5).unwrap();
+            let count = gpu.end_occlusion_query().unwrap();
+            (count, gpu.stats().counters(), gpu.modeled_clock_ns())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

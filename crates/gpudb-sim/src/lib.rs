@@ -64,6 +64,7 @@ mod mipmap;
 mod pipeline;
 pub mod program;
 pub mod raster;
+pub mod span;
 pub mod state;
 pub mod stats;
 pub mod texture;
@@ -74,6 +75,7 @@ pub use device::Gpu;
 pub use error::{GpuError, GpuResult};
 pub use mipmap::MipmapReduction;
 pub use raster::Rect;
+pub use span::{SpanKind, SpanSink};
 pub use state::{CompareFunc, StencilOp};
 pub use stats::{GpuStats, Phase, PhaseTimes, WorkCounters};
 pub use texture::{Texture, TextureFormat, TextureId};

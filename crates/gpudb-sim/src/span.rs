@@ -1,0 +1,102 @@
+//! Span sink interface: hierarchical tracing driven by the device.
+//!
+//! The pass-plan recorder ([`crate::trace`]) captures *what* the device was
+//! asked to do; a [`SpanSink`] captures *when*, on the modeled clock. The
+//! device opens a leaf span around every costed operation (draw, readback,
+//! upload) and emits instant events for cheap calls (clears, occlusion
+//! begin/end); higher layers open enclosing spans (operator, plan stage,
+//! query) through [`crate::device::Gpu::span_begin`].
+//!
+//! Timestamps are **modeled nanoseconds** — the cumulative modeled cost of
+//! the device at the moment of the call, never wall clock — so a trace is
+//! byte-identical across runs. The sink never touches [`crate::stats::GpuStats`],
+//! so attaching one changes neither results nor modeled cost.
+
+use crate::stats::WorkCounters;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+
+/// The level of a span in the `query → stage → operator → pass` hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// A whole query execution.
+    Query,
+    /// A plan stage within a query (selection, one aggregate, ...).
+    Stage,
+    /// One database operator invocation (what a `MetricsRecord` covers).
+    Operator,
+    /// One rendering pass (a draw call, or an on-card copy).
+    Pass,
+    /// A device → host transfer (buffer readback, occlusion sync).
+    Readback,
+    /// A host → device transfer (texture upload).
+    Upload,
+    /// Anything else.
+    Other,
+}
+
+impl SpanKind {
+    /// Human-readable name, stable across versions (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Stage => "stage",
+            SpanKind::Operator => "operator",
+            SpanKind::Pass => "pass",
+            SpanKind::Readback => "readback",
+            SpanKind::Upload => "upload",
+            SpanKind::Other => "other",
+        }
+    }
+
+    /// Depth of this kind in the canonical hierarchy; used by collectors
+    /// to filter by [`detail level`](SpanKind) without tracking parents.
+    pub fn depth(self) -> u8 {
+        match self {
+            SpanKind::Query => 0,
+            SpanKind::Stage => 1,
+            SpanKind::Operator => 2,
+            SpanKind::Pass | SpanKind::Readback | SpanKind::Upload | SpanKind::Other => 3,
+        }
+    }
+}
+
+/// Receiver for span begin/end pairs and instant events.
+///
+/// Implementations must tolerate unbalanced calls (an error path may leave
+/// spans open; `end_span` with no open span must be a no-op). `clock_ns`
+/// is the device's modeled clock — see the module docs. `counters` is a
+/// snapshot of the device's cumulative [`WorkCounters`] at the call.
+pub trait SpanSink: Send {
+    /// A span opens at `clock_ns`.
+    fn begin_span(&mut self, kind: SpanKind, name: &str, clock_ns: u64, counters: &WorkCounters);
+    /// The most recently opened span closes at `clock_ns`.
+    fn end_span(&mut self, clock_ns: u64, counters: &WorkCounters);
+    /// A zero-duration event at `clock_ns`, attached to the open span.
+    fn instant(&mut self, name: &str, detail: &str, clock_ns: u64);
+    /// Recover the concrete sink after [`crate::device::Gpu::take_span_sink`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_distinct() {
+        let kinds = [
+            SpanKind::Query,
+            SpanKind::Stage,
+            SpanKind::Operator,
+            SpanKind::Pass,
+            SpanKind::Readback,
+            SpanKind::Upload,
+            SpanKind::Other,
+        ];
+        let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        assert!(SpanKind::Query.depth() < SpanKind::Stage.depth());
+        assert!(SpanKind::Stage.depth() < SpanKind::Operator.depth());
+        assert!(SpanKind::Operator.depth() < SpanKind::Pass.depth());
+    }
+}

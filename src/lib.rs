@@ -13,7 +13,9 @@
 //!   semi-linear queries, k-th largest, bitwise accumulator, bitonic
 //!   sort) plus a declarative query layer;
 //! * [`cpu`] — the optimized CPU baselines the paper compares against;
-//! * [`data`] — synthetic TCP/IP-trace and census workload generators.
+//! * [`data`] — synthetic TCP/IP-trace and census workload generators;
+//! * [`obs`] — hierarchical span tracing on the modeled clock, with
+//!   Chrome-trace / flamegraph / JSONL exporters and `EXPLAIN ANALYZE`.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 pub use gpudb_core as core;
 pub use gpudb_cpu as cpu;
 pub use gpudb_data as data;
+pub use gpudb_obs as obs;
 pub use gpudb_sim as sim;
 
 /// Commonly used types, one `use` away.
@@ -51,12 +54,17 @@ pub mod prelude {
     pub use gpudb_core::olap;
     pub use gpudb_core::out_of_core::ChunkedTable;
     pub use gpudb_core::predicate::{compare_count, compare_many, compare_select};
-    pub use gpudb_core::query::{execute, parse, Aggregate, BoolExpr, Query};
+    pub use gpudb_core::query::{
+        execute, execute_with_options, explain_analyze, parse, Aggregate, BoolExpr, ExecuteOptions,
+        Query, TraceLevel,
+    };
     pub use gpudb_core::range::{range_count, range_select};
     pub use gpudb_core::semilinear::{compare_attributes, semilinear_select};
     pub use gpudb_core::stream::StreamWindow;
     pub use gpudb_core::table::GpuTable;
     pub use gpudb_core::timing::{measure, OpTiming};
     pub use gpudb_core::{EngineError, EngineResult, Selection};
+    pub use gpudb_obs::{Span, SpanCollector, SpanTree};
+    pub use gpudb_sim::span::{SpanKind, SpanSink};
     pub use gpudb_sim::{CompareFunc, Gpu};
 }
