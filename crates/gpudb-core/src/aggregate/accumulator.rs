@@ -24,6 +24,11 @@ pub fn sum(
     column: usize,
     selection: Option<&Selection>,
 ) -> EngineResult<u64> {
+    // A constant-empty selection has no stencil backing: testing the
+    // stencil buffer would read pixels that were never established.
+    if selection.is_some_and(Selection::is_const_empty) {
+        return Ok(0);
+    }
     let meta = table.column(column)?;
     let bits = meta.bits;
     let texture = table.texture_for(column)?;
@@ -77,6 +82,9 @@ pub fn sum_with_depth_mask(
     column: usize,
     selection: Option<&Selection>,
 ) -> EngineResult<u64> {
+    if selection.is_some_and(Selection::is_const_empty) {
+        return Ok(0);
+    }
     let bits = table.column(column)?.bits;
     crate::predicate::copy_to_depth(gpu, table, column)?;
 
@@ -217,6 +225,22 @@ mod tests {
         let (mut gpu, t) = setup(&values);
         let (sel, count) = compare_select(&mut gpu, &t, 0, CompareFunc::Greater, 100).unwrap();
         assert_eq!(count, 0);
+        assert!(matches!(
+            avg(&mut gpu, &t, 0, Some(&sel)).unwrap_err(),
+            EngineError::EmptyInput
+        ));
+    }
+
+    #[test]
+    fn const_empty_selection_sums_to_zero_without_device_work() {
+        let values = vec![1u32, 2, 3];
+        let (mut gpu, t) = setup(&values);
+        // Pollute the stencil: the const-empty guard must not consult it.
+        gpu.clear_stencil(SELECTED);
+        let sel = Selection::const_empty(&t);
+        let counters = gpu.stats().counters();
+        assert_eq!(sum(&mut gpu, &t, 0, Some(&sel)).unwrap(), 0);
+        assert_eq!(gpu.stats().counters(), counters);
         assert!(matches!(
             avg(&mut gpu, &t, 0, Some(&sel)).unwrap_err(),
             EngineError::EmptyInput

@@ -413,7 +413,7 @@ mod tests {
         let mut sorted = values.clone();
         sorted.sort_unstable();
         let threshold = sorted[sorted.len() - 10];
-        let indices = sel.read_indices(&mut gpu);
+        let indices = sel.read_indices(&mut gpu).unwrap();
         assert_eq!(indices.len(), 10);
         for i in indices {
             assert!(

@@ -422,7 +422,7 @@ mod tests {
         let raw: Vec<&[u32]> = columns.iter().map(|(_, v)| *v).collect();
         let n = raw.first().map_or(0, |c| c.len());
         let expected: Vec<bool> = (0..n).map(|row| reference(cnf, &raw, row)).collect();
-        assert_eq!(sel.read_mask(&mut gpu), expected);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected);
         assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
         assert_eq!(sel.count(&mut gpu).unwrap(), count);
     }
@@ -617,7 +617,7 @@ mod tests {
         let raw: Vec<&[u32]> = columns.iter().map(|(_, v)| *v).collect();
         let n = raw.first().map_or(0, |c| c.len());
         let expected: Vec<bool> = (0..n).map(|row| dnf_reference(dnf, &raw, row)).collect();
-        assert_eq!(sel.read_mask(&mut gpu), expected);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected);
         assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
         assert_eq!(sel.count(&mut gpu).unwrap(), count);
     }

@@ -1,6 +1,6 @@
 //! Error types for the database engine layer.
 
-use gpudb_sim::GpuError;
+use gpudb_sim::{FaultClass, GpuError};
 use std::fmt;
 
 /// Errors raised by the GPU database operations.
@@ -53,6 +53,30 @@ pub enum EngineError {
         /// Rendered diagnostics from the validator.
         diagnostics: Vec<String>,
     },
+    /// The retry budget was exhausted without a successful attempt; the
+    /// last transient error is carried for diagnostics. Classified as a
+    /// *device* fault: persistent transience means the device is not
+    /// cooperating and a non-GPU path should take over.
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<EngineError>,
+    },
+}
+
+impl EngineError {
+    /// Classify this error for the retry/degradation policy: transient
+    /// device faults are retryable, resource exhaustion invites a
+    /// smaller-footprint strategy, device loss invites a CPU fallback, and
+    /// everything else is a logic error that no amount of retrying fixes.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            EngineError::Gpu(e) => e.fault_class(),
+            EngineError::RetriesExhausted { .. } => FaultClass::Device,
+            _ => FaultClass::Logic,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +116,9 @@ impl fmt::Display for EngineError {
                     diagnostics.join("; ")
                 )
             }
+            EngineError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -100,6 +127,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Gpu(e) => Some(e),
+            EngineError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -153,5 +181,142 @@ mod tests {
         let e = EngineError::from(GpuError::InvalidTexture(3));
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("device error"));
+    }
+
+    /// One instance of every variant with a Display fragment and its
+    /// fault class. A new variant not added here fails the count check.
+    fn all_variants() -> Vec<(EngineError, &'static str, FaultClass)> {
+        vec![
+            (
+                EngineError::Gpu(GpuError::InvalidTexture(1)),
+                "device error",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::ColumnNotFound("rate".into()),
+                "\"rate\" not found",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::ColumnIndexOutOfRange(7),
+                "index 7 out of range",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::MismatchedColumnLengths,
+                "differing lengths",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::AttributeTooWide {
+                    column: "big".into(),
+                    bits: 30,
+                },
+                "30",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::FramebufferTooSmall {
+                    needed: 100,
+                    available: 10,
+                },
+                "100",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::EmptyInput,
+                "at least one record",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::InvalidK { k: 5, available: 3 },
+                "5",
+                FaultClass::Logic,
+            ),
+            (EngineError::TooManyAttributes(9), "9", FaultClass::Logic),
+            (
+                EngineError::TableNotFound("t".into()),
+                "t",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::InvalidQuery("no".into()),
+                "invalid query: no",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::PlanValidation {
+                    operator: "filter/range".into(),
+                    diagnostics: vec!["L003".into()],
+                },
+                "filter/range",
+                FaultClass::Logic,
+            ),
+            (
+                EngineError::RetriesExhausted {
+                    attempts: 3,
+                    last: Box::new(EngineError::Gpu(GpuError::OcclusionQueryLost)),
+                },
+                "gave up after 3 attempts",
+                FaultClass::Device,
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_variant_displays_and_classifies() {
+        let variants = all_variants();
+        // Keep this table exhaustive: bump when adding a variant.
+        assert_eq!(variants.len(), 13);
+        for (err, fragment, class) in variants {
+            assert!(
+                err.to_string().contains(fragment),
+                "{err} missing {fragment:?}"
+            );
+            assert_eq!(err.fault_class(), class, "{err}");
+        }
+    }
+
+    #[test]
+    fn gpu_fault_classes_pass_through_the_wrapper() {
+        let cases = [
+            (GpuError::OcclusionQueryLost, FaultClass::Transient),
+            (
+                GpuError::ReadbackCorrupted {
+                    buffer: "depth",
+                    bytes: 64,
+                },
+                FaultClass::Transient,
+            ),
+            (
+                GpuError::OutOfVideoMemory {
+                    requested: 1,
+                    available: 0,
+                },
+                FaultClass::Resource,
+            ),
+            (GpuError::DeviceReset, FaultClass::Device),
+            (GpuError::InvalidChannelCount(5), FaultClass::Logic),
+        ];
+        for (gpu_err, class) in cases {
+            assert_eq!(EngineError::from(gpu_err).fault_class(), class);
+        }
+    }
+
+    #[test]
+    fn retries_exhausted_chains_to_the_last_error() {
+        let e = EngineError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(EngineError::Gpu(GpuError::ReadbackCorrupted {
+                buffer: "stencil",
+                bytes: 512,
+            })),
+        };
+        // Display carries the inner error; source() walks to it, and one
+        // level deeper to the device error.
+        assert!(e.to_string().contains("stencil"));
+        let inner = std::error::Error::source(&e).expect("source");
+        assert!(inner.to_string().contains("device error"));
+        assert!(std::error::Error::source(inner).is_some());
     }
 }

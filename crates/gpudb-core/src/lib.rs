@@ -25,7 +25,13 @@
 //!   paper's "with copy" / "computation only" split;
 //! * [`metrics`] — structured per-operator metrics records (work
 //!   counters + modeled phase times) backing the perf-regression
-//!   harness in `gpudb-bench`.
+//!   harness in `gpudb-bench`;
+//! * [`cpu_oracle`] — a device-free reference engine with exact GPU
+//!   parity (results and errors alike), backing the fault-injection
+//!   chaos suite and the CPU rung of the recovery ladder;
+//! * [`resilience`] — retry with deterministic modeled backoff,
+//!   capability/resource degradation, and CPU fallback for queries on a
+//!   faulty device.
 //!
 //! ## Example
 //!
@@ -51,9 +57,13 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+// Fallible device paths must surface typed errors, not panic: unwrap is
+// banned in library code (tests may unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aggregate;
 pub mod boolean;
+pub mod cpu_oracle;
 pub mod error;
 pub mod metrics;
 pub mod olap;
@@ -62,6 +72,7 @@ pub mod out_of_core;
 pub mod predicate;
 pub mod query;
 pub mod range;
+pub mod resilience;
 pub mod selection;
 pub mod semilinear;
 pub mod sort;
@@ -70,8 +81,10 @@ pub mod table;
 pub mod timing;
 
 pub use boolean::{GpuClause, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+pub use cpu_oracle::{HostTable, OracleOutput};
 pub use error::{EngineError, EngineResult};
 pub use metrics::{MetricsLog, MetricsRecord};
+pub use resilience::{ResiliencePath, ResilienceReport, ResilientOutput, RetryPolicy};
 pub use selection::Selection;
 pub use table::GpuTable;
 pub use timing::OpTiming;

@@ -57,7 +57,12 @@ impl PhaseNanos {
         let mut order: [usize; 5] = [0, 1, 2, 3, 4];
         order.sort_by(|&a, &b| {
             let frac = |i: usize| raw[i] - raw[i] as u64 as f64;
-            frac(b).partial_cmp(&frac(a)).unwrap().then(a.cmp(&b))
+            // Fractions are finite (clamped to >= 0 above), but never
+            // panic on a comparison: fall back to index order.
+            frac(b)
+                .partial_cmp(&frac(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         for i in 0..target.saturating_sub(assigned) as usize {
             ns[order[i % 5]] += 1;

@@ -67,7 +67,7 @@ pub fn histogram(
 
     let mut buckets = Vec::with_capacity(edges.len());
     for &(low, high) in edges {
-        gpu.set_depth_bounds(true, encode_depth_f64(low), encode_depth_f64(high));
+        gpu.set_depth_bounds(true, encode_depth_f64(low), encode_depth_f64(high))?;
         gpu.begin_occlusion_query()?;
         gpu.draw_quad(table.rects(), 0.0)?;
         let count = gpu.end_occlusion_query_async()?;

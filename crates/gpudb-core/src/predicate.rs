@@ -168,7 +168,11 @@ mod tests {
                 let (mut gpu, t) = setup(&values);
                 let (sel, count) = compare_select(&mut gpu, &t, 0, op, c).unwrap();
                 let expected: Vec<bool> = values.iter().map(|&v| op.eval(v, c)).collect();
-                assert_eq!(sel.read_mask(&mut gpu), expected, "op {op:?} c {c}");
+                assert_eq!(
+                    sel.read_mask(&mut gpu).unwrap(),
+                    expected,
+                    "op {op:?} c {c}"
+                );
                 assert_eq!(
                     count,
                     expected.iter().filter(|&&b| b).count() as u64,
@@ -215,7 +219,7 @@ mod tests {
         let (sel, count) = compare_select(&mut gpu, &t, 1, GreaterEqual, 5).unwrap();
         assert_eq!(count, 3);
         assert_eq!(
-            sel.read_indices(&mut gpu),
+            sel.read_indices(&mut gpu).unwrap(),
             vec![5, 6, 7],
             "channel selection must pick the right attribute"
         );
@@ -227,7 +231,7 @@ mod tests {
         let (mut gpu, t) = setup(&values);
         gpu.clear_stencil(7);
         copy_to_depth(&mut gpu, &t, 0).unwrap();
-        assert!(gpu.read_stencil_buffer().iter().all(|&s| s == 7));
+        assert!(gpu.read_stencil_buffer().unwrap().iter().all(|&s| s == 7));
     }
 
     #[test]
@@ -235,7 +239,7 @@ mod tests {
         let values: Vec<u32> = vec![3, 141, 59, 26, 535];
         let (mut gpu, t) = setup(&values);
         copy_to_depth(&mut gpu, &t, 0).unwrap();
-        let raw = gpu.read_depth_buffer_raw();
+        let raw = gpu.read_depth_buffer_raw().unwrap();
         assert_eq!(&raw[..5], &values[..]);
     }
 
@@ -282,6 +286,6 @@ mod tests {
         let (mut gpu, t) = setup(&[]);
         let (sel, count) = compare_select(&mut gpu, &t, 0, Less, 10).unwrap();
         assert_eq!(count, 0);
-        assert!(sel.read_mask(&mut gpu).is_empty());
+        assert!(sel.read_mask(&mut gpu).unwrap().is_empty());
     }
 }

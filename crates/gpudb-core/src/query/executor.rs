@@ -789,6 +789,34 @@ mod tests {
     }
 
     #[test]
+    fn inverted_range_still_emits_every_stage_record() {
+        // The host-decided short circuit for `low > high` does no device
+        // work, but EXPLAIN ANALYZE must not skip the stage: the filter
+        // record is present with all-zero cost.
+        let (mut gpu, t, _, _) = setup();
+        let q = Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("a".into())],
+            BoolExpr::Between {
+                column: "a".into(),
+                low: 120,
+                high: 40,
+            },
+        );
+        let out = execute(&mut gpu, &t, &q).unwrap();
+        assert_eq!(out.matched, 0);
+        assert_eq!(out.metrics.len(), 3);
+        assert_eq!(out.metrics[0].operator, "filter/range");
+        assert_eq!(out.metrics[0].modeled_total_ns(), 0);
+        assert_eq!(out.metrics[0].counters.draw_calls, 0);
+        assert_eq!(out.metrics[1].operator, "agg/COUNT(*)");
+        assert_eq!(out.metrics[2].operator, "agg/SUM(a)");
+        assert_eq!(out.rows[1].1, AggValue::Sum(0));
+        let text = explain_analyze(&mut gpu, &t, &q).unwrap();
+        assert!(text.contains("filter/range"), "{text}");
+        assert!(text.contains("phases[-]"), "{text}");
+    }
+
+    #[test]
     fn explain_with_device_lists_pass_state_without_cost() {
         let (mut gpu, t, _, _) = setup();
         let q = Query::filtered(

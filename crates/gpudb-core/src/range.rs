@@ -9,7 +9,7 @@
 
 use crate::error::EngineResult;
 use crate::ops::encode_depth_f64;
-use crate::predicate::copy_to_depth;
+use crate::predicate::{comparison_pass, copy_to_depth, OcclusionMode};
 use crate::selection::{Selection, SELECTED};
 use crate::table::GpuTable;
 use gpudb_sim::state::ColorMask;
@@ -29,20 +29,29 @@ pub fn range_select(
     low: u32,
     high: u32,
 ) -> EngineResult<(Selection, u64)> {
+    // An inverted range is empty by host arithmetic, and
+    // EXT_depth_bounds_test rejects zmin > zmax (glDepthBoundsEXT raises
+    // INVALID_VALUE). Decide *before* any device work: the answer is a
+    // const-empty selection, so the stage is genuinely zero-cost yet
+    // still emits its MetricsRecord from the executor.
+    if low > high {
+        return Ok((Selection::const_empty(table), 0));
+    }
+
     // Line 1: SetupStencil.
     gpu.set_phase(Phase::Compute);
     gpu.reset_state();
     gpu.clear_stencil(0);
 
-    // An inverted range is empty. EXT_depth_bounds_test rejects
-    // zmin > zmax (glDepthBoundsEXT raises INVALID_VALUE), so answer
-    // from the cleared stencil without running the routine.
-    if low > high {
-        return Ok((Selection::over_table(table), 0));
-    }
-
     // Line 2: CopyToDepth.
     copy_to_depth(gpu, table, column)?;
+
+    // Routine 4.4 needs EXT_depth_bounds_test; on hardware without it
+    // ("In the absence of this test, we can use the depth test to compute
+    // the range query using two passes") degrade to the two-pass form.
+    if !gpu.profile().has_depth_bounds {
+        return range_select_two_pass(gpu, table, low, high);
+    }
 
     // Lines 3-6: depth bounds from [low, high]; quad at depth `low`; the
     // depth test itself stays disabled (the bounds test inspects the stored
@@ -51,12 +60,58 @@ pub fn range_select(
     gpu.set_color_mask(ColorMask::NONE);
     gpu.set_depth_test(false, CompareFunc::Always);
     gpu.set_depth_write(false);
-    gpu.set_depth_bounds(true, encode_depth_f64(low), encode_depth_f64(high));
+    gpu.set_depth_bounds(true, encode_depth_f64(low), encode_depth_f64(high))?;
     gpu.set_stencil_func(true, CompareFunc::Always, SELECTED, 0xFF);
     gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Replace);
     gpu.begin_occlusion_query()?;
     gpu.draw_quad(table.rects(), encode_depth_f64(low) as f32)?;
     let count = gpu.end_occlusion_query_async()?;
+    gpu.reset_state();
+    Ok((Selection::over_table(table), count))
+}
+
+/// The paper's degraded Range for hardware without depth-bounds: two
+/// ordinary depth-test comparison passes over the stored attribute.
+///
+/// Pass 1 stamps stencil = [`SELECTED`] where `x >= low`; pass 2 keeps the
+/// stamp only where `x <= high` (zfail zeroes it) while an occlusion query
+/// counts the fragments passing both tests — the final match count. Same
+/// result, one extra pass: exactly the cost Routine 4.4 exists to avoid.
+///
+/// Expects the stencil cleared and the attribute already in the depth
+/// buffer.
+fn range_select_two_pass(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    low: u32,
+    high: u32,
+) -> EngineResult<(Selection, u64)> {
+    gpu.set_phase(Phase::Compute);
+    gpu.set_color_mask(ColorMask::NONE);
+    gpu.set_depth_write(false);
+
+    // Pass 1: x >= low → stencil := SELECTED.
+    gpu.set_stencil_func(true, CompareFunc::Always, SELECTED, 0xFF);
+    gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Replace);
+    comparison_pass(
+        gpu,
+        table,
+        CompareFunc::GreaterEqual,
+        low,
+        OcclusionMode::None,
+    )?;
+
+    // Pass 2: among stamped records, x > high → stencil := 0; the
+    // occlusion query counts stencil-and-depth survivors.
+    gpu.set_stencil_func(true, CompareFunc::Equal, SELECTED, 0xFF);
+    gpu.set_stencil_op(StencilOp::Keep, StencilOp::Zero, StencilOp::Keep);
+    let count = comparison_pass(
+        gpu,
+        table,
+        CompareFunc::LessEqual,
+        high,
+        OcclusionMode::Async,
+    )?;
     gpu.reset_state();
     Ok((Selection::over_table(table), count))
 }
@@ -91,7 +146,7 @@ mod tests {
         let (mut gpu, t) = setup(&values);
         let (sel, count) = range_select(&mut gpu, &t, 0, 20, 60).unwrap();
         let expected: Vec<bool> = values.iter().map(|&v| (20..=60).contains(&v)).collect();
-        assert_eq!(sel.read_mask(&mut gpu), expected);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected);
         assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
     }
 
@@ -102,7 +157,7 @@ mod tests {
         let (sel, count) = range_select(&mut gpu, &t, 0, 10, 50).unwrap();
         assert_eq!(count, 4);
         assert_eq!(
-            sel.read_mask(&mut gpu),
+            sel.read_mask(&mut gpu).unwrap(),
             vec![false, true, true, true, true, false]
         );
     }
@@ -116,14 +171,18 @@ mod tests {
         for (low, high) in [(0u32, 2999u32), (500, 1500), (100, 100), (2999, 2999)] {
             let (mut gpu, t) = setup(&values);
             let (sel_range, c_range) = range_select(&mut gpu, &t, 0, low, high).unwrap();
-            let mask_range = sel_range.read_mask(&mut gpu);
+            let mask_range = sel_range.read_mask(&mut gpu).unwrap();
 
             let cnf = GpuCnf::all_of(vec![
                 GpuPredicate::new(0, GreaterEqual, low),
                 GpuPredicate::new(0, LessEqual, high),
             ]);
             let (sel_cnf, c_cnf) = eval_cnf_select(&mut gpu, &t, &cnf).unwrap();
-            assert_eq!(mask_range, sel_cnf.read_mask(&mut gpu), "[{low}, {high}]");
+            assert_eq!(
+                mask_range,
+                sel_cnf.read_mask(&mut gpu).unwrap(),
+                "[{low}, {high}]"
+            );
             assert_eq!(c_range, c_cnf);
         }
     }
@@ -150,6 +209,60 @@ mod tests {
 
         assert_eq!(range_copies * 2, cnf_copies, "CNF copies the column twice");
         assert!(range_modeled < cnf_modeled);
+    }
+
+    #[test]
+    fn two_pass_fallback_matches_depth_bounds_path() {
+        use gpudb_sim::HardwareProfile;
+        let values: Vec<u32> = (0..200).map(|i| (i * 7919) % 3000).collect();
+        let rows = values.len().div_ceil(5);
+        for (low, high) in [(0u32, 2999u32), (500, 1500), (100, 100), (2999, 2999)] {
+            let (mut gpu, t) = setup(&values);
+            let (sel, count) = range_select(&mut gpu, &t, 0, low, high).unwrap();
+            let mask = sel.read_mask(&mut gpu).unwrap();
+
+            let mut degraded =
+                Gpu::new(HardwareProfile::geforce_fx_5900_no_depth_bounds(), 5, rows);
+            let t2 = GpuTable::upload(&mut degraded, "t", &[("a", &values)]).unwrap();
+            let (sel2, count2) = range_select(&mut degraded, &t2, 0, low, high).unwrap();
+            assert_eq!(count2, count, "[{low}, {high}]");
+            assert_eq!(sel2.read_mask(&mut degraded).unwrap(), mask);
+        }
+    }
+
+    #[test]
+    fn two_pass_fallback_costs_an_extra_pass() {
+        use gpudb_sim::HardwareProfile;
+        let values: Vec<u32> = (0..100).collect();
+        let (mut gpu, t) = setup(&values);
+        gpu.reset_stats();
+        range_select(&mut gpu, &t, 0, 10, 90).unwrap();
+        let bounds_fragments = gpu.stats().fragments_generated;
+        let bounds_modeled = gpu.stats().modeled_total();
+
+        let mut degraded = Gpu::new(HardwareProfile::geforce_fx_5900_no_depth_bounds(), 5, 20);
+        let t2 = GpuTable::upload(&mut degraded, "t", &[("a", &values)]).unwrap();
+        degraded.reset_stats();
+        range_select(&mut degraded, &t2, 0, 10, 90).unwrap();
+        assert!(degraded.stats().fragments_generated > bounds_fragments);
+        assert!(degraded.stats().modeled_total() > bounds_modeled);
+    }
+
+    #[test]
+    fn inverted_range_is_zero_cost_and_const_empty() {
+        let values = vec![5u32, 6, 7];
+        let (mut gpu, t) = setup(&values);
+        // Pollute the stencil: the short-circuit must not depend on (or
+        // touch) device state.
+        gpu.clear_stencil(SELECTED);
+        let counters = gpu.stats().counters();
+        let modeled = gpu.stats().modeled_total();
+        let (sel, count) = range_select(&mut gpu, &t, 0, 7, 5).unwrap();
+        assert_eq!(count, 0);
+        assert!(sel.is_const_empty());
+        assert_eq!(gpu.stats().counters(), counters, "no device work");
+        assert_eq!(gpu.stats().modeled_total(), modeled, "no modeled cost");
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), vec![false; 3]);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct Selection {
     record_count: usize,
     width: usize,
     rects: Vec<Rect>,
+    /// A constant-empty selection matches nothing *by construction* (e.g.
+    /// an inverted range): no stencil was written for it, so every device
+    /// consumer must — and does — short-circuit instead of testing
+    /// stencil values that were never established.
+    const_empty: bool,
 }
 
 impl Selection {
@@ -32,7 +37,28 @@ impl Selection {
             record_count: table.record_count(),
             width: table.width(),
             rects: table.rects().to_vec(),
+            const_empty: false,
         }
+    }
+
+    /// A selection over `table` that matches no records, decided on the
+    /// host (e.g. a degenerate range with `low > high`). Costs nothing on
+    /// the device — no stencil clear, no pass — and every consumer
+    /// ([`Selection::count`], [`Selection::read_mask`], aggregates)
+    /// short-circuits on it.
+    pub(crate) fn const_empty(table: &GpuTable) -> Selection {
+        Selection {
+            record_count: table.record_count(),
+            width: table.width(),
+            rects: Vec::new(),
+            const_empty: true,
+        }
+    }
+
+    /// Whether this selection is empty by construction (no device state
+    /// backs it; consumers must not test the stencil buffer).
+    pub fn is_const_empty(&self) -> bool {
+        self.const_empty
     }
 
     /// Select *all* records of a table: writes stencil = 1 over the record
@@ -65,6 +91,9 @@ impl Selection {
     /// paper's COUNT, §4.3.1): render the record quad with a stencil test
     /// for the selected value and read back the pixel pass count.
     pub fn count(&self, gpu: &mut Gpu) -> EngineResult<u64> {
+        if self.const_empty {
+            return Ok(0);
+        }
         gpu.set_phase(Phase::Compute);
         gpu.reset_state();
         gpu.set_color_mask(ColorMask::NONE);
@@ -80,7 +109,7 @@ impl Selection {
 
     /// Selectivity of the selection in `[0, 1]`.
     pub fn selectivity(&self, gpu: &mut Gpu) -> EngineResult<f64> {
-        if self.record_count == 0 {
+        if self.record_count == 0 || self.const_empty {
             return Ok(0.0);
         }
         Ok(self.count(gpu)? as f64 / self.record_count as f64)
@@ -89,22 +118,26 @@ impl Selection {
     /// Read the selection back to the host as one bool per record — the
     /// expensive full-readback path GPU algorithms avoid; provided for
     /// verification and result delivery.
-    pub fn read_mask(&self, gpu: &mut Gpu) -> Vec<bool> {
-        let stencil = gpu.read_stencil_buffer();
-        stencil
+    pub fn read_mask(&self, gpu: &mut Gpu) -> EngineResult<Vec<bool>> {
+        if self.const_empty {
+            return Ok(vec![false; self.record_count]);
+        }
+        let stencil = gpu.read_stencil_buffer()?;
+        Ok(stencil
             .into_iter()
             .take(self.record_count)
             .map(|s| s == SELECTED)
-            .collect()
+            .collect())
     }
 
     /// Indices of the selected records (host-side).
-    pub fn read_indices(&self, gpu: &mut Gpu) -> Vec<usize> {
-        self.read_mask(gpu)
+    pub fn read_indices(&self, gpu: &mut Gpu) -> EngineResult<Vec<usize>> {
+        Ok(self
+            .read_mask(gpu)?
             .into_iter()
             .enumerate()
             .filter_map(|(i, selected)| selected.then_some(i))
-            .collect()
+            .collect())
     }
 }
 
@@ -125,7 +158,7 @@ mod tests {
         let sel = Selection::select_all(&mut gpu, &t).unwrap();
         assert_eq!(sel.count(&mut gpu).unwrap(), 10);
         assert_eq!(sel.selectivity(&mut gpu).unwrap(), 1.0);
-        assert_eq!(sel.read_mask(&mut gpu), vec![true; 10]);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), vec![true; 10]);
     }
 
     #[test]
@@ -147,7 +180,7 @@ mod tests {
         let sel = Selection::select_all(&mut gpu, &t).unwrap();
         assert_eq!(sel.count(&mut gpu).unwrap(), 0);
         assert_eq!(sel.selectivity(&mut gpu).unwrap(), 0.0);
-        assert!(sel.read_mask(&mut gpu).is_empty());
+        assert!(sel.read_mask(&mut gpu).unwrap().is_empty());
     }
 
     #[test]
@@ -155,7 +188,30 @@ mod tests {
         let mut gpu = GpuTable::device_for(10, 4);
         let t = table(&mut gpu, 10);
         let sel = Selection::select_all(&mut gpu, &t).unwrap();
-        assert_eq!(sel.read_indices(&mut gpu), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            sel.read_indices(&mut gpu).unwrap(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn const_empty_selection_touches_no_device_state() {
+        let mut gpu = GpuTable::device_for(10, 4);
+        let t = table(&mut gpu, 10);
+        // Pollute the stencil buffer: a const-empty selection must not
+        // consult it (it was never cleared on the empty path).
+        gpu.clear_stencil(SELECTED);
+        let counters = gpu.stats().counters();
+        let sel = Selection::const_empty(&t);
+        assert!(sel.is_const_empty());
+        assert_eq!(sel.record_count(), 10);
+        assert_eq!(sel.count(&mut gpu).unwrap(), 0);
+        assert_eq!(sel.selectivity(&mut gpu).unwrap(), 0.0);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), vec![false; 10]);
+        assert!(sel.read_indices(&mut gpu).unwrap().is_empty());
+        // count() issued no occlusion query, no draw — and read_mask no
+        // stencil readback.
+        assert_eq!(gpu.stats().counters(), counters);
     }
 
     #[test]

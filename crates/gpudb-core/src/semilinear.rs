@@ -288,7 +288,7 @@ mod tests {
             let expected: Vec<bool> = (0..100)
                 .map(|row| op.eval(gpu_order_dot(&refs, &s, row), 40.0))
                 .collect();
-            assert_eq!(sel.read_mask(&mut gpu), expected, "op {op:?}");
+            assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected, "op {op:?}");
             assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
         }
     }
@@ -311,7 +311,7 @@ mod tests {
         let expected: Vec<bool> = (0..50)
             .map(|row| gpu_order_dot(&refs, &s, row) >= 1.0)
             .collect();
-        assert_eq!(sel.read_mask(&mut gpu), expected);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected);
         assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
     }
 
@@ -333,7 +333,7 @@ mod tests {
         let (mut gpu, t) = setup(&[("a", &a), ("b", &b)]);
         let (sel, count) = compare_attributes(&mut gpu, &t, 0, 1, Greater).unwrap();
         assert_eq!(count, 1);
-        assert_eq!(sel.read_indices(&mut gpu), vec![2]);
+        assert_eq!(sel.read_indices(&mut gpu).unwrap(), vec![2]);
         let (_, count) = compare_attributes(&mut gpu, &t, 0, 1, Equal).unwrap();
         assert_eq!(count, 2);
         let (_, count) = compare_attributes(&mut gpu, &t, 1, 0, Greater).unwrap();
@@ -422,7 +422,7 @@ mod tests {
             let expected: Vec<bool> = (0..120)
                 .map(|row| op.eval(gpu_order_poly(&refs, &q, &s, row), 5_000.0))
                 .collect();
-            assert_eq!(sel.read_mask(&mut gpu), expected, "op {op:?}");
+            assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected, "op {op:?}");
             assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
         }
     }

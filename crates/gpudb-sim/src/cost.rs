@@ -80,6 +80,17 @@ impl HardwareProfile {
         }
     }
 
+    /// The paper's GPU with `EXT_depth_bounds_test` withdrawn — a driver
+    /// or card (pre-NV35) without the extension. Routine 4.4's Range must
+    /// fall back to two ordinary depth-test passes on this profile.
+    pub fn geforce_fx_5900_no_depth_bounds() -> HardwareProfile {
+        HardwareProfile {
+            name: "GeForce FX 5900 Ultra (no depth-bounds extension)".to_string(),
+            has_depth_bounds: false,
+            ..HardwareProfile::geforce_fx_5900()
+        }
+    }
+
     /// An idealized device with no per-pass or synchronization overhead.
     /// Used by ablation benchmarks to isolate algorithmic cost.
     pub fn ideal() -> HardwareProfile {

@@ -5,6 +5,7 @@
 use crate::buffers::Framebuffer;
 use crate::cost::{DrawCost, HardwareProfile};
 use crate::error::{GpuError, GpuResult};
+use crate::fault::{FaultInjector, FaultKind, FaultStats};
 use crate::program::isa::{FragmentProgram, NUM_PARAMS, NUM_TEXTURE_UNITS};
 use crate::raster::{rasterize, DrawInputs, Rect};
 use crate::span::{SpanKind, SpanSink};
@@ -44,6 +45,7 @@ pub struct Gpu {
     vram_used: usize,
     recorder: Option<TraceRecorder>,
     span_sink: Option<Box<dyn SpanSink>>,
+    fault_injector: Option<FaultInjector>,
 }
 
 impl Gpu {
@@ -70,6 +72,7 @@ impl Gpu {
             vram_used,
             recorder: None,
             span_sink: None,
+            fault_injector: None,
         }
     }
 
@@ -238,6 +241,77 @@ impl Gpu {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Attach a deterministic fault injector. Fault-prone operations
+    /// (texture allocation, occlusion retrieval, readbacks, draws) poll it
+    /// against the modeled clock and fail with typed errors when an event
+    /// fires. Replaces any previously attached injector.
+    pub fn attach_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault_injector = Some(injector);
+    }
+
+    /// Detach and return the fault injector (with its fired/pending
+    /// state), if any.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.fault_injector.take()
+    }
+
+    /// Whether a fault injector is attached.
+    pub fn has_fault_injector(&self) -> bool {
+        self.fault_injector.is_some()
+    }
+
+    /// Counts of faults fired so far by the attached injector (all zeros
+    /// without one).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_injector
+            .as_ref()
+            .map(FaultInjector::fired)
+            .unwrap_or_default()
+    }
+
+    /// Poll the injector for a fault striking an operation of `kind` at
+    /// the current modeled time. Device resets outrank kind-specific
+    /// events and immediately wipe the context. Faults never fire during
+    /// record-only dry runs (an EXPLAIN must not consume chaos events).
+    fn poll_fault(&mut self, kind: FaultKind) -> Option<FaultKind> {
+        if self.record_only() {
+            return None;
+        }
+        let now = self.modeled_clock_ns();
+        let fired = self.fault_injector.as_mut()?.poll(kind, now)?;
+        if fired == FaultKind::DeviceReset {
+            self.perform_device_reset();
+        }
+        if self.span_sink.is_some() {
+            let name = format!("fault:{}", fired.name());
+            self.span_instant(&name, "");
+        }
+        Some(fired)
+    }
+
+    /// Wipe the device as a driver reset would: every texture, binding,
+    /// program, parameter, pipeline state bit, and framebuffer byte is
+    /// lost. Accumulated statistics (and hence the modeled clock) are
+    /// preserved so fault schedules stay monotonic across the reset, and
+    /// the trace recorder / span sink stay attached — observability
+    /// survives the fault it is observing.
+    fn perform_device_reset(&mut self) {
+        self.textures.clear();
+        self.free_ids.clear();
+        self.bound_textures = [None; NUM_TEXTURE_UNITS];
+        self.program = None;
+        self.env = [[0.0; 4]; NUM_PARAMS];
+        self.state = PipelineState::default();
+        self.draw_color = [1.0; 4];
+        self.occlusion = None;
+        self.fb = Framebuffer::new(self.fb.width(), self.fb.height());
+        self.vram_used = self.fb.byte_size();
+    }
+
+    // ------------------------------------------------------------------
     // Phase attribution & statistics
     // ------------------------------------------------------------------
 
@@ -268,6 +342,19 @@ impl Gpu {
     /// Upload a texture to the device (costed as an AGP transfer).
     pub fn create_texture(&mut self, texture: Texture) -> GpuResult<TextureId> {
         let bytes = texture.byte_size();
+        match self.poll_fault(FaultKind::AllocationFail) {
+            Some(FaultKind::DeviceReset) => return Err(GpuError::DeviceReset),
+            Some(_) => {
+                // An injected allocation refusal (fragmentation / driver
+                // denial) surfaces as the same error as a genuine
+                // over-budget request so one out-of-core ladder covers both.
+                return Err(GpuError::OutOfVideoMemory {
+                    requested: bytes,
+                    available: self.vram_budget.saturating_sub(self.vram_used),
+                });
+            }
+            None => {}
+        }
         if self.vram_used + bytes > self.vram_budget {
             return Err(GpuError::OutOfVideoMemory {
                 requested: bytes,
@@ -465,10 +552,17 @@ impl Gpu {
         };
     }
 
-    /// Configure the `EXT_depth_bounds_test` extension.
-    pub fn set_depth_bounds(&mut self, enabled: bool, min: f64, max: f64) {
+    /// Configure the `EXT_depth_bounds_test` extension. Errors with
+    /// [`GpuError::UnsupportedFeature`] when enabling on a hardware
+    /// profile that lacks the extension (Routine 4.4's fallback is two
+    /// ordinary depth-test passes); disabling is always allowed.
+    pub fn set_depth_bounds(&mut self, enabled: bool, min: f64, max: f64) -> GpuResult<()> {
+        if enabled && !self.profile.has_depth_bounds {
+            return Err(GpuError::UnsupportedFeature("depth bounds test"));
+        }
         self.record(PassOp::SetDepthBounds { enabled, min, max });
         self.state.depth_bounds = DepthBoundsState { enabled, min, max };
+        Ok(())
     }
 
     /// Set the depth compare mask (§6.1 wishlist extension). Errors with
@@ -603,6 +697,11 @@ impl Gpu {
                 return Ok(DrawCost::default());
             }
         }
+        // Only a device reset can strike a draw submission; kind-specific
+        // faults target allocation / query / readback operations.
+        if self.poll_fault(FaultKind::DeviceReset).is_some() {
+            return Err(GpuError::DeviceReset);
+        }
 
         if self.span_sink.is_some() {
             let label = match &self.program {
@@ -676,7 +775,14 @@ impl Gpu {
             .modeled
             .add(Phase::Readback, self.profile.occlusion_sync_latency_s);
         self.span_end();
-        Ok(count)
+        // The drain was paid either way; the result may still be lost in
+        // flight. The query is consumed, so re-running the counting pass
+        // (not just re-fetching) is the correct recovery.
+        match self.poll_fault(FaultKind::OcclusionLoss) {
+            Some(FaultKind::DeviceReset) => Err(GpuError::DeviceReset),
+            Some(_) => Err(GpuError::OcclusionQueryLost),
+            None => Ok(count),
+        }
     }
 
     /// End the active query with an *asynchronous* result fetch: no
@@ -694,6 +800,11 @@ impl Gpu {
             return Ok(0);
         }
         self.stats.occlusion_readbacks += 1;
+        match self.poll_fault(FaultKind::OcclusionLoss) {
+            Some(FaultKind::DeviceReset) => return Err(GpuError::DeviceReset),
+            Some(_) => return Err(GpuError::OcclusionQueryLost),
+            None => {}
+        }
         if self.has_span_sink() {
             let detail = count.to_string();
             self.span_instant("occlusion-end-async", &detail);
@@ -711,58 +822,77 @@ impl Gpu {
     // ------------------------------------------------------------------
 
     /// Read back the full depth buffer (normalized values). Costed at PCI
-    /// readback bandwidth.
-    pub fn read_depth_buffer(&mut self) -> Vec<f64> {
+    /// readback bandwidth. Fails with [`GpuError::ReadbackCorrupted`] or
+    /// [`GpuError::DeviceReset`] under fault injection.
+    pub fn read_depth_buffer(&mut self) -> GpuResult<Vec<f64>> {
         self.record(PassOp::ReadDepthBuffer);
         if self.record_only() {
-            return vec![0.0; self.fb.pixel_count()];
+            return Ok(vec![0.0; self.fb.pixel_count()]);
         }
         let bytes = (self.fb.pixel_count() * 4) as u64;
         self.span_begin(SpanKind::Readback, "readback:depth");
         self.account_readback(bytes);
         self.span_end();
-        (0..self.fb.pixel_count())
+        self.check_readback("depth", bytes)?;
+        Ok((0..self.fb.pixel_count())
             .map(|i| self.fb.depth.get(i))
-            .collect()
+            .collect())
     }
 
     /// Read back the raw 24-bit depth buffer values.
-    pub fn read_depth_buffer_raw(&mut self) -> Vec<u32> {
+    pub fn read_depth_buffer_raw(&mut self) -> GpuResult<Vec<u32>> {
         self.record(PassOp::ReadDepthBuffer);
         if self.record_only() {
-            return vec![0; self.fb.pixel_count()];
+            return Ok(vec![0; self.fb.pixel_count()]);
         }
         let bytes = (self.fb.pixel_count() * 4) as u64;
         self.span_begin(SpanKind::Readback, "readback:depth");
         self.account_readback(bytes);
         self.span_end();
-        self.fb.depth.raw_data().to_vec()
+        self.check_readback("depth", bytes)?;
+        Ok(self.fb.depth.raw_data().to_vec())
     }
 
     /// Read back the stencil buffer.
-    pub fn read_stencil_buffer(&mut self) -> Vec<u8> {
+    pub fn read_stencil_buffer(&mut self) -> GpuResult<Vec<u8>> {
         self.record(PassOp::ReadStencilBuffer);
         if self.record_only() {
-            return vec![0; self.fb.pixel_count()];
+            return Ok(vec![0; self.fb.pixel_count()]);
         }
         let bytes = self.fb.pixel_count() as u64;
         self.span_begin(SpanKind::Readback, "readback:stencil");
         self.account_readback(bytes);
         self.span_end();
-        self.fb.stencil.data().to_vec()
+        self.check_readback("stencil", bytes)?;
+        Ok(self.fb.stencil.data().to_vec())
     }
 
     /// Read back the color buffer.
-    pub fn read_color_buffer(&mut self) -> Vec<[f32; 4]> {
+    pub fn read_color_buffer(&mut self) -> GpuResult<Vec<[f32; 4]>> {
         self.record(PassOp::ReadColorBuffer);
         if self.record_only() {
-            return vec![[0.0; 4]; self.fb.pixel_count()];
+            return Ok(vec![[0.0; 4]; self.fb.pixel_count()]);
         }
         let bytes = (self.fb.pixel_count() * 16) as u64;
         self.span_begin(SpanKind::Readback, "readback:color");
         self.account_readback(bytes);
         self.span_end();
-        self.fb.color.data().to_vec()
+        self.check_readback("color", bytes)?;
+        Ok(self.fb.color.data().to_vec())
+    }
+
+    /// Integrity check at the driver boundary after a readback's cost has
+    /// been charged: corruption is *detected* (parity/CRC), never returned
+    /// silently — the caller gets a typed transient error and no data.
+    fn check_readback(&mut self, buffer: &'static str, bytes: u64) -> GpuResult<()> {
+        match self.poll_fault(FaultKind::ReadbackBitFlip) {
+            Some(FaultKind::DeviceReset) => Err(GpuError::DeviceReset),
+            Some(_) => Err(GpuError::ReadbackCorrupted {
+                buffer,
+                bytes: bytes as usize,
+            }),
+            None => Ok(()),
+        }
     }
 
     /// Copy a region of the color buffer into a texture — the
@@ -845,6 +975,19 @@ impl Gpu {
         self.stats.modeled.add(phase, seconds);
         self.stats.draw_calls += 1;
     }
+
+    /// Charge a retry backoff to the modeled clock ([`Phase::Other`]).
+    ///
+    /// The resilience layer sleeps on the *modeled* clock, never wall
+    /// clock, so chaos runs stay deterministic; advancing the clock also
+    /// lets a backoff carry the schedule past a burst of pending faults.
+    /// No draw call is counted — nothing was submitted.
+    pub fn charge_backoff(&mut self, seconds: f64) {
+        self.stats.modeled.add(Phase::Other, seconds.max(0.0));
+        if self.span_sink.is_some() {
+            self.span_instant("resilience:backoff", "");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -919,7 +1062,7 @@ mod tests {
         assert_eq!(cost.fragments, 32);
         assert_eq!(cost.passed, 32);
         assert_eq!(cost.shaded, 0);
-        let depths = gpu.read_depth_buffer();
+        let depths = gpu.read_depth_buffer().unwrap();
         assert!(depths.iter().all(|&d| (d - 0.5).abs() < 1e-6));
     }
 
@@ -967,7 +1110,7 @@ mod tests {
         gpu.set_depth_write(true);
         let cost = gpu.draw_full_quad(0.0).unwrap();
         assert_eq!(cost.shaded, 4, "depth-writing program disables early-z");
-        let raw = gpu.read_depth_buffer_raw();
+        let raw = gpu.read_depth_buffer_raw().unwrap();
         assert_eq!(raw, vec![0, 100, 200, crate::buffers::DEPTH_MAX]);
     }
 
@@ -1065,10 +1208,15 @@ mod tests {
         gpu.clear_stencil(7);
         assert!(gpu
             .read_depth_buffer_raw()
+            .unwrap()
             .iter()
             .all(|&d| d == crate::buffers::DEPTH_MAX));
-        assert!(gpu.read_color_buffer().iter().all(|&c| c == [0.5; 4]));
-        assert!(gpu.read_stencil_buffer().iter().all(|&s| s == 7));
+        assert!(gpu
+            .read_color_buffer()
+            .unwrap()
+            .iter()
+            .all(|&c| c == [0.5; 4]));
+        assert!(gpu.read_stencil_buffer().unwrap().iter().all(|&s| s == 7));
     }
 
     #[test]
@@ -1206,7 +1354,7 @@ mod tests {
         gpu.begin_occlusion_query().unwrap();
         gpu.draw_full_quad(0.5).unwrap();
         gpu.end_occlusion_query().unwrap();
-        gpu.read_stencil_buffer();
+        gpu.read_stencil_buffer().unwrap();
 
         let sink = gpu
             .take_span_sink()
@@ -1257,9 +1405,144 @@ mod tests {
     }
 
     #[test]
+    fn depth_bounds_gated_by_profile() {
+        let mut gpu = Gpu::new(HardwareProfile::geforce_fx_5900_no_depth_bounds(), 2, 2);
+        assert_eq!(
+            gpu.set_depth_bounds(true, 0.1, 0.9).unwrap_err(),
+            GpuError::UnsupportedFeature("depth bounds test")
+        );
+        // Disabling is always allowed.
+        gpu.set_depth_bounds(false, 0.0, 1.0).unwrap();
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        gpu.set_depth_bounds(true, 0.1, 0.9).unwrap();
+        assert!(gpu.state().depth_bounds.enabled);
+    }
+
+    #[test]
+    fn injected_occlusion_loss_consumes_query_and_is_transient() {
+        use crate::fault::{FaultEvent, FaultInjector, FaultKind};
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        gpu.attach_fault_injector(FaultInjector::with_schedule(vec![FaultEvent {
+            at_ns: 0,
+            kind: FaultKind::OcclusionLoss,
+        }]));
+        gpu.set_depth_test(true, CompareFunc::Less);
+        gpu.set_depth_write(false);
+        gpu.begin_occlusion_query().unwrap();
+        gpu.draw_full_quad(0.5).unwrap();
+        let err = gpu.end_occlusion_query().unwrap_err();
+        assert_eq!(err, GpuError::OcclusionQueryLost);
+        assert_eq!(err.fault_class(), crate::error::FaultClass::Transient);
+        // The query is consumed: retrying the whole counting pass works.
+        assert!(!gpu.occlusion_query_active());
+        gpu.begin_occlusion_query().unwrap();
+        gpu.draw_full_quad(0.5).unwrap();
+        assert_eq!(gpu.end_occlusion_query().unwrap(), 4);
+        assert_eq!(gpu.fault_stats().occlusion_losses, 1);
+    }
+
+    #[test]
+    fn injected_readback_corruption_charges_cost_and_returns_no_data() {
+        use crate::fault::{FaultEvent, FaultInjector, FaultKind};
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        gpu.attach_fault_injector(FaultInjector::with_schedule(vec![FaultEvent {
+            at_ns: 0,
+            kind: FaultKind::ReadbackBitFlip,
+        }]));
+        let err = gpu.read_stencil_buffer().unwrap_err();
+        assert!(matches!(
+            err,
+            GpuError::ReadbackCorrupted {
+                buffer: "stencil",
+                ..
+            }
+        ));
+        assert!(gpu.stats().bytes_read_back > 0, "transfer cost was paid");
+        // The event is consumed: the retry succeeds.
+        assert_eq!(gpu.read_stencil_buffer().unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn injected_allocation_failure_reports_out_of_memory() {
+        use crate::fault::{FaultEvent, FaultInjector, FaultKind};
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        gpu.attach_fault_injector(FaultInjector::with_schedule(vec![FaultEvent {
+            at_ns: 0,
+            kind: FaultKind::AllocationFail,
+        }]));
+        let err = gpu.create_texture(tex(&[1.0])).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfVideoMemory { .. }));
+        assert_eq!(err.fault_class(), crate::error::FaultClass::Resource);
+        // Consumed: the retry allocates.
+        assert!(gpu.create_texture(tex(&[1.0])).is_ok());
+    }
+
+    #[test]
+    fn device_reset_wipes_context_but_preserves_the_modeled_clock() {
+        use crate::fault::{FaultEvent, FaultInjector, FaultKind};
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        let id = gpu.create_texture(tex(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        gpu.bind_texture(0, Some(id)).unwrap();
+        gpu.set_depth_test(true, CompareFunc::Always);
+        gpu.set_depth_write(true);
+        gpu.draw_full_quad(0.25).unwrap();
+        let clock_before = gpu.modeled_clock_ns();
+        let vram_floor = gpu.framebuffer().byte_size();
+        assert!(clock_before > 0);
+
+        gpu.attach_fault_injector(FaultInjector::with_schedule(vec![FaultEvent {
+            at_ns: 0,
+            kind: FaultKind::DeviceReset,
+        }]));
+        let err = gpu.read_depth_buffer().unwrap_err();
+        assert_eq!(err, GpuError::DeviceReset);
+        assert_eq!(err.fault_class(), crate::error::FaultClass::Device);
+
+        // Context gone: texture invalid, state back to defaults, VRAM at
+        // the framebuffer floor, framebuffer cleared.
+        assert!(gpu.texture(id).is_err());
+        assert_eq!(gpu.vram_used(), vram_floor);
+        assert!(!gpu.state().depth.test_enabled);
+        assert!(gpu
+            .read_depth_buffer_raw()
+            .unwrap()
+            .iter()
+            .all(|&d| d == crate::buffers::DEPTH_MAX));
+        // The modeled clock survives (monotonic across the reset: the
+        // failed readback itself charged its transfer before the fault).
+        assert!(gpu.modeled_clock_ns() >= clock_before);
+        assert_eq!(gpu.fault_stats().device_resets, 1);
+    }
+
+    #[test]
+    fn faults_do_not_fire_during_record_only_dry_runs() {
+        use crate::fault::{FaultEvent, FaultInjector, FaultKind};
+        let mut gpu = Gpu::geforce_fx_5900(4, 1);
+        gpu.attach_fault_injector(FaultInjector::with_schedule(vec![FaultEvent {
+            at_ns: 0,
+            kind: FaultKind::ReadbackBitFlip,
+        }]));
+        gpu.enable_tracing(RecordMode::RecordOnly);
+        assert!(gpu.read_stencil_buffer().is_ok(), "dry run never faults");
+        gpu.disable_tracing();
+        // The event is still pending and strikes the real readback.
+        assert!(gpu.read_stencil_buffer().is_err());
+    }
+
+    #[test]
+    fn charge_backoff_advances_clock_without_draw_calls() {
+        let mut gpu = Gpu::geforce_fx_5900(2, 2);
+        let calls = gpu.stats().draw_calls;
+        gpu.charge_backoff(1e-3);
+        assert_eq!(gpu.modeled_clock_ns(), 1_000_000);
+        assert_eq!(gpu.stats().draw_calls, calls);
+        assert_eq!(gpu.stats().modeled.get(Phase::Other), 1e-3);
+    }
+
+    #[test]
     fn readbacks_are_costed() {
         let mut gpu = Gpu::geforce_fx_5900(10, 10);
-        gpu.read_depth_buffer();
+        gpu.read_depth_buffer().unwrap();
         let stats = gpu.stats();
         assert_eq!(stats.bytes_read_back, 400);
         assert!(stats.modeled.get(Phase::Readback) > 0.0);

@@ -57,6 +57,51 @@ pub enum GpuError {
     InvalidParameterIndex(usize),
     /// The hardware profile does not support the requested feature.
     UnsupportedFeature(&'static str),
+    /// An occlusion query result was lost in flight (transient driver
+    /// fault). The query is consumed; re-issuing the counting pass is safe.
+    OcclusionQueryLost,
+    /// A buffer readback failed its integrity check (transient transfer
+    /// corruption detected at the driver boundary). No data was returned;
+    /// retrying the readback is safe.
+    ReadbackCorrupted {
+        /// Which buffer was being read ("depth", "stencil", "color").
+        buffer: &'static str,
+        /// Bytes that were in flight when the corruption was detected.
+        bytes: usize,
+    },
+    /// The device was reset (driver restart / TDR). All textures, bound
+    /// state, and framebuffer contents are gone; the context must be
+    /// rebuilt from host data before any further device work.
+    DeviceReset,
+}
+
+/// Coarse classification of a device error, driving the resilience
+/// layer's response: retry, degrade, fall back, or surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Momentary fault; the operation can simply be retried.
+    Transient,
+    /// A resource limit was hit; a smaller-footprint strategy may succeed.
+    Resource,
+    /// The device itself failed; GPU state is unrecoverable without a
+    /// rebuild, and a non-GPU execution path may be required.
+    Device,
+    /// A programming/usage error; retrying cannot help.
+    Logic,
+}
+
+impl GpuError {
+    /// Classify this error for the retry/degradation policy.
+    pub fn fault_class(&self) -> FaultClass {
+        match self {
+            GpuError::OcclusionQueryLost | GpuError::ReadbackCorrupted { .. } => {
+                FaultClass::Transient
+            }
+            GpuError::OutOfVideoMemory { .. } => FaultClass::Resource,
+            GpuError::DeviceReset => FaultClass::Device,
+            _ => FaultClass::Logic,
+        }
+    }
 }
 
 impl fmt::Display for GpuError {
@@ -90,6 +135,16 @@ impl fmt::Display for GpuError {
             GpuError::UnsupportedFeature(feature) => {
                 write!(f, "hardware profile does not support {feature}")
             }
+            GpuError::OcclusionQueryLost => {
+                write!(f, "occlusion query result lost (transient)")
+            }
+            GpuError::ReadbackCorrupted { buffer, bytes } => {
+                write!(
+                    f,
+                    "readback of {buffer} buffer failed integrity check ({bytes} bytes in flight)"
+                )
+            }
+            GpuError::DeviceReset => write!(f, "device reset: GPU context lost"),
         }
     }
 }
@@ -98,3 +153,132 @@ impl std::error::Error for GpuError {}
 
 /// Convenience alias used throughout the simulator.
 pub type GpuResult<T> = Result<T, GpuError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::Rect;
+
+    /// One instance of every variant, paired with a fragment its Display
+    /// must contain and its fault class. A new variant that is not added
+    /// here fails the count assertion below.
+    fn all_variants() -> Vec<(GpuError, &'static str, FaultClass)> {
+        vec![
+            (
+                GpuError::OutOfVideoMemory {
+                    requested: 4096,
+                    available: 128,
+                },
+                "out of video memory",
+                FaultClass::Resource,
+            ),
+            (
+                GpuError::InvalidTexture(9),
+                "invalid texture id 9",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::InvalidTextureUnit(5),
+                "invalid texture unit 5",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::InvalidTextureSize {
+                    width: 0,
+                    height: 7,
+                },
+                "0x7",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::TextureDataMismatch {
+                    expected: 16,
+                    actual: 12,
+                },
+                "length 12, expected 16",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::InvalidChannelCount(6),
+                "channel count 6",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::UnboundTextureUnit(2),
+                "no texture bound to unit 2",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::ProgramError("bad opcode".into()),
+                "bad opcode",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::RectOutOfBounds {
+                    rect: Rect::new(0, 0, 10, 10),
+                    width: 4,
+                    height: 4,
+                },
+                "outside framebuffer 4x4",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::OcclusionQueryMisuse("nested begin"),
+                "nested begin",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::InvalidParameterIndex(33),
+                "parameter index 33",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::UnsupportedFeature("depth bounds test"),
+                "does not support depth bounds test",
+                FaultClass::Logic,
+            ),
+            (
+                GpuError::OcclusionQueryLost,
+                "occlusion query result lost",
+                FaultClass::Transient,
+            ),
+            (
+                GpuError::ReadbackCorrupted {
+                    buffer: "stencil",
+                    bytes: 256,
+                },
+                "stencil buffer",
+                FaultClass::Transient,
+            ),
+            (GpuError::DeviceReset, "device reset", FaultClass::Device),
+        ]
+    }
+
+    #[test]
+    fn every_variant_displays_and_classifies() {
+        let variants = all_variants();
+        // Keep this table exhaustive: bump when adding a variant.
+        assert_eq!(variants.len(), 15);
+        for (err, fragment, class) in variants {
+            assert!(
+                err.to_string().contains(fragment),
+                "{err} missing {fragment:?}"
+            );
+            assert_eq!(err.fault_class(), class, "{err}");
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_exactly_the_retryable_ones() {
+        let retryable: Vec<GpuError> = all_variants()
+            .into_iter()
+            .filter(|(_, _, c)| *c == FaultClass::Transient)
+            .map(|(e, _, _)| e)
+            .collect();
+        assert_eq!(retryable.len(), 2);
+        assert!(retryable.contains(&GpuError::OcclusionQueryLost));
+        assert!(retryable
+            .iter()
+            .any(|e| matches!(e, GpuError::ReadbackCorrupted { .. })));
+    }
+}

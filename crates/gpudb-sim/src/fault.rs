@@ -1,0 +1,301 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultInjector`] holds a schedule of [`FaultEvent`]s keyed on the
+//! **modeled clock** (`GpuStats::modeled` total, in nanoseconds) — never
+//! wall clock — so a chaos run is replayable byte-for-byte from its seed.
+//! The device polls the injector at each fault-prone operation (texture
+//! allocation, occlusion query retrieval, buffer readback, draw
+//! submission); an event fires when its kind matches the operation and its
+//! trigger time has been reached on the modeled clock. Fired events are
+//! consumed, so a retry of the same operation succeeds unless another
+//! event is also due — exactly the behaviour of a transient driver fault.
+//!
+//! The modeled faults are the four failure modes the paper's routines
+//! silently assume away:
+//!
+//! * [`FaultKind::OcclusionLoss`] — an occlusion query result is lost in
+//!   flight (the query is consumed; §5.1's counting pass must be redrawn);
+//! * [`FaultKind::ReadbackBitFlip`] — a buffer readback fails its
+//!   integrity check at the driver boundary (detected, not silent: the
+//!   call returns [`crate::GpuError::ReadbackCorrupted`] and no data);
+//! * [`FaultKind::AllocationFail`] — a texture allocation is refused even
+//!   though the VRAM budget would admit it (fragmentation / driver
+//!   refusal), surfacing the same `OutOfVideoMemory` error as a genuine
+//!   over-budget request so the out-of-core ladder handles both;
+//! * [`FaultKind::DeviceReset`] — the driver resets the device: every
+//!   texture, binding, program, and framebuffer byte is lost, while the
+//!   accumulated statistics (and hence the modeled clock) survive, keeping
+//!   the schedule monotonic across the reset.
+//!
+//! Capability withdrawal (a `HardwareProfile` without depth-bounds) is not
+//! an event — it is a static property of the profile, exercised via
+//! [`crate::cost::HardwareProfile::geforce_fx_5900_no_depth_bounds`].
+
+use std::fmt;
+
+/// The kinds of device fault the injector can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Lose the result of the next occlusion query retrieval.
+    OcclusionLoss,
+    /// Corrupt the next buffer readback (detected at the driver boundary).
+    ReadbackBitFlip,
+    /// Refuse the next texture allocation with an out-of-memory error.
+    AllocationFail,
+    /// Reset the device on the next fault-prone operation of any kind.
+    DeviceReset,
+}
+
+impl FaultKind {
+    /// All fault kinds, in a fixed order (used by seeded schedule
+    /// generation; reordering would change every derived schedule).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::OcclusionLoss,
+        FaultKind::ReadbackBitFlip,
+        FaultKind::AllocationFail,
+        FaultKind::DeviceReset,
+    ];
+
+    /// Short stable name used in span tags and fault-schedule dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::OcclusionLoss => "occlusion-loss",
+            FaultKind::ReadbackBitFlip => "readback-bit-flip",
+            FaultKind::AllocationFail => "allocation-fail",
+            FaultKind::DeviceReset => "device-reset",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled fault: fire the first matching operation at or after
+/// `at_ns` on the modeled clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Modeled-clock trigger time in nanoseconds.
+    pub at_ns: u64,
+    /// Which operation class the fault strikes.
+    pub kind: FaultKind,
+}
+
+/// Counts of faults actually fired, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Occlusion query results lost.
+    pub occlusion_losses: u64,
+    /// Readbacks corrupted.
+    pub readback_bit_flips: u64,
+    /// Texture allocations refused.
+    pub allocation_fails: u64,
+    /// Device resets performed.
+    pub device_resets: u64,
+}
+
+impl FaultStats {
+    /// Total faults fired across all kinds.
+    pub fn total(&self) -> u64 {
+        self.occlusion_losses + self.readback_bit_flips + self.allocation_fails + self.device_resets
+    }
+
+    pub(crate) fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::OcclusionLoss => self.occlusion_losses += 1,
+            FaultKind::ReadbackBitFlip => self.readback_bit_flips += 1,
+            FaultKind::AllocationFail => self.allocation_fails += 1,
+            FaultKind::DeviceReset => self.device_resets += 1,
+        }
+    }
+}
+
+/// SplitMix64: tiny, dependency-free, high-quality 64-bit PRNG. The
+/// schedule generator must be deterministic across platforms and must not
+/// depend on vendored crates, so it is implemented inline.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0) via multiply-shift.
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A deterministic, modeled-clock fault schedule.
+///
+/// Attach to a device with [`crate::Gpu::attach_fault_injector`]; detach
+/// (recovering fired/pending state) with [`crate::Gpu::take_fault_injector`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Pending events, sorted ascending by `at_ns` (ties keep insertion
+    /// order). Events are consumed front-first as they fire.
+    schedule: Vec<FaultEvent>,
+    /// Index of the next unfired event per kind is implicit: events are
+    /// scanned in order and removed when fired.
+    fired: FaultStats,
+    /// Seed this schedule was generated from, if any (0 for hand-built
+    /// schedules) — carried for diagnostics and replay instructions.
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// An injector with an explicit, hand-built schedule.
+    pub fn with_schedule(mut schedule: Vec<FaultEvent>) -> Self {
+        schedule.sort_by_key(|e| e.at_ns);
+        FaultInjector {
+            schedule,
+            fired: FaultStats::default(),
+            seed: 0,
+        }
+    }
+
+    /// Generate a schedule from a seed: `events` faults of uniformly
+    /// random kind at uniformly random modeled-clock times in
+    /// `0..horizon_ns`. Identical `(seed, events, horizon_ns)` triples
+    /// produce identical schedules on every platform.
+    pub fn from_seed(seed: u64, events: usize, horizon_ns: u64) -> Self {
+        let mut rng = SplitMix64(seed);
+        let mut schedule = Vec::with_capacity(events);
+        for _ in 0..events {
+            let at_ns = if horizon_ns == 0 {
+                0
+            } else {
+                rng.below(horizon_ns)
+            };
+            let kind = FaultKind::ALL[rng.below(FaultKind::ALL.len() as u64) as usize];
+            schedule.push(FaultEvent { at_ns, kind });
+        }
+        schedule.sort_by_key(|e| e.at_ns);
+        FaultInjector {
+            schedule,
+            fired: FaultStats::default(),
+            seed,
+        }
+    }
+
+    /// The seed this schedule was generated from (0 if hand-built).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Events not yet fired, in firing order.
+    pub fn pending(&self) -> &[FaultEvent] {
+        &self.schedule
+    }
+
+    /// Counts of faults fired so far.
+    pub fn fired(&self) -> FaultStats {
+        self.fired
+    }
+
+    /// Poll for a fault striking an operation of `kind` at modeled time
+    /// `now_ns`. Device resets are "due" for *any* operation kind, so a
+    /// pending `DeviceReset` event outranks a later kind-specific event.
+    /// Returns the kind actually fired ([`FaultKind::DeviceReset`] or
+    /// `kind`), consuming the event.
+    pub(crate) fn poll(&mut self, kind: FaultKind, now_ns: u64) -> Option<FaultKind> {
+        let mut hit = None;
+        for (i, ev) in self.schedule.iter().enumerate() {
+            if ev.at_ns > now_ns {
+                break;
+            }
+            if ev.kind == kind || ev.kind == FaultKind::DeviceReset {
+                hit = Some(i);
+                break;
+            }
+        }
+        let i = hit?;
+        let fired = self.schedule.remove(i).kind;
+        self.fired.record(fired);
+        Some(fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let a = FaultInjector::from_seed(42, 16, 1_000_000);
+        let b = FaultInjector::from_seed(42, 16, 1_000_000);
+        assert_eq!(a.pending(), b.pending());
+        let c = FaultInjector::from_seed(43, 16, 1_000_000);
+        assert_ne!(a.pending(), c.pending());
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let inj = FaultInjector::from_seed(7, 64, 500_000);
+        let times: Vec<u64> = inj.pending().iter().map(|e| e.at_ns).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert!(times.iter().all(|&t| t < 500_000));
+    }
+
+    #[test]
+    fn poll_fires_only_matching_kind_at_or_after_trigger() {
+        let mut inj = FaultInjector::with_schedule(vec![
+            FaultEvent {
+                at_ns: 100,
+                kind: FaultKind::OcclusionLoss,
+            },
+            FaultEvent {
+                at_ns: 200,
+                kind: FaultKind::ReadbackBitFlip,
+            },
+        ]);
+        // Before the trigger time: nothing fires.
+        assert_eq!(inj.poll(FaultKind::OcclusionLoss, 50), None);
+        // Wrong kind at a due time: the due event stays pending.
+        assert_eq!(inj.poll(FaultKind::ReadbackBitFlip, 150), None);
+        // Matching kind at a due time fires and consumes the event.
+        assert_eq!(
+            inj.poll(FaultKind::OcclusionLoss, 150),
+            Some(FaultKind::OcclusionLoss)
+        );
+        assert_eq!(inj.poll(FaultKind::OcclusionLoss, 150), None);
+        assert_eq!(inj.fired().occlusion_losses, 1);
+        // The later event still fires once its time comes.
+        assert_eq!(
+            inj.poll(FaultKind::ReadbackBitFlip, 250),
+            Some(FaultKind::ReadbackBitFlip)
+        );
+        assert_eq!(inj.fired().total(), 2);
+    }
+
+    #[test]
+    fn device_reset_outranks_kind_specific_events() {
+        let mut inj = FaultInjector::with_schedule(vec![
+            FaultEvent {
+                at_ns: 10,
+                kind: FaultKind::DeviceReset,
+            },
+            FaultEvent {
+                at_ns: 20,
+                kind: FaultKind::AllocationFail,
+            },
+        ]);
+        assert_eq!(
+            inj.poll(FaultKind::AllocationFail, 30),
+            Some(FaultKind::DeviceReset)
+        );
+        assert_eq!(
+            inj.poll(FaultKind::AllocationFail, 30),
+            Some(FaultKind::AllocationFail)
+        );
+    }
+}

@@ -55,11 +55,15 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+// Fallible device paths must surface typed errors, not panic: unwrap is
+// banned in library code (tests may unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod buffers;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 mod mipmap;
 mod pipeline;
 pub mod program;
@@ -72,7 +76,8 @@ pub mod trace;
 
 pub use cost::{DrawCost, HardwareProfile};
 pub use device::Gpu;
-pub use error::{GpuError, GpuResult};
+pub use error::{FaultClass, GpuError, GpuResult};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultStats};
 pub use mipmap::MipmapReduction;
 pub use raster::Rect;
 pub use span::{SpanKind, SpanSink};

@@ -268,13 +268,12 @@ impl<'a> Assembler<'a> {
                 negate,
             });
         }
-        if text
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_ascii_digit() || c == '.')
-            && text.parse::<f32>().is_ok()
-        {
-            let v = text.parse::<f32>().unwrap();
+        if let (true, Ok(v)) = (
+            text.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '.'),
+            text.parse::<f32>(),
+        ) {
             let idx = self.intern_literal([v; 4]);
             return Ok(SrcOperand {
                 reg: SrcReg::Literal(idx),

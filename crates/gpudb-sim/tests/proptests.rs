@@ -117,7 +117,7 @@ proptest! {
         let mut gpu = Gpu::geforce_fx_5900(w, h);
         gpu.set_draw_color([0.25, 0.5, 0.75, 1.0]);
         gpu.draw_full_quad(0.0).unwrap();
-        let pixels_before = gpu.read_color_buffer();
+        let pixels_before = gpu.read_color_buffer().unwrap();
         let counters_before = gpu.stats().counters();
 
         gpu.enable_tracing(RecordMode::RecordOnly);
@@ -136,7 +136,7 @@ proptest! {
         prop_assert_eq!(plans.len(), 1);
         prop_assert_eq!(plans[0].draw_count(), 1);
         prop_assert_eq!(gpu.stats().counters(), counters_before);
-        prop_assert_eq!(gpu.read_color_buffer(), pixels_before);
+        prop_assert_eq!(gpu.read_color_buffer().unwrap(), pixels_before);
     }
 
     #[test]

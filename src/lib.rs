@@ -51,6 +51,7 @@ pub use gpudb_sim as sim;
 pub mod prelude {
     pub use gpudb_core::aggregate;
     pub use gpudb_core::boolean::{GpuClause, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
+    pub use gpudb_core::cpu_oracle::{self, HostTable, OracleOutput};
     pub use gpudb_core::olap;
     pub use gpudb_core::out_of_core::ChunkedTable;
     pub use gpudb_core::predicate::{compare_count, compare_many, compare_select};
@@ -59,6 +60,9 @@ pub mod prelude {
         Query, TraceLevel,
     };
     pub use gpudb_core::range::{range_count, range_select};
+    pub use gpudb_core::resilience::{
+        execute_resilient, ResiliencePath, ResilienceReport, ResilientOutput, RetryPolicy,
+    };
     pub use gpudb_core::semilinear::{compare_attributes, semilinear_select};
     pub use gpudb_core::stream::StreamWindow;
     pub use gpudb_core::table::GpuTable;
@@ -66,5 +70,7 @@ pub mod prelude {
     pub use gpudb_core::{EngineError, EngineResult, Selection};
     pub use gpudb_obs::{Span, SpanCollector, SpanTree};
     pub use gpudb_sim::span::{SpanKind, SpanSink};
-    pub use gpudb_sim::{CompareFunc, Gpu};
+    pub use gpudb_sim::{
+        CompareFunc, FaultClass, FaultEvent, FaultInjector, FaultKind, FaultStats, Gpu,
+    };
 }

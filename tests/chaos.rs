@@ -1,0 +1,275 @@
+//! Chaos suite: seeded fault schedules against the resilient executor,
+//! cross-checked record-for-record against the CPU oracle.
+//!
+//! The contract under test (ISSUE 4 acceptance criteria): for **every**
+//! fault schedule, every query either
+//!
+//! 1. returns a result byte-identical to `cpu_oracle::execute`, or
+//! 2. returns a typed [`EngineError`] that the oracle agrees with
+//!    (logic errors are identical on every rung),
+//!
+//! and never panics and never silently corrupts an answer.
+//!
+//! Schedules are generated with [`FaultInjector::from_seed`] — the same
+//! seeds replay byte-for-byte, so any failure here is reproducible with
+//! `cargo run -p gpudb-bench --bin chaos -- --seeds <seed>`.
+
+use gpudb::prelude::*;
+
+/// SplitMix64, for deterministic workload/query generation independent
+/// of the fault schedule's own PRNG stream.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const RECORDS: usize = 256;
+
+/// A small three-column workload, deterministic in the seed.
+fn workload(seed: u64) -> HostTable {
+    let mut rng = Mix(seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1);
+    let a: Vec<u32> = (0..RECORDS).map(|_| rng.below(1 << 16) as u32).collect();
+    let b: Vec<u32> = (0..RECORDS).map(|_| rng.below(1 << 12) as u32).collect();
+    let c: Vec<u32> = (0..RECORDS).map(|_| rng.below(97) as u32).collect();
+    HostTable::new("chaos", vec![("a", a), ("b", b), ("c", c)]).expect("valid workload")
+}
+
+/// The six query shapes of the acceptance criteria: simple predicate,
+/// range (sometimes inverted and therefore empty), CNF, semi-linear,
+/// k-th order statistics, and the accumulator aggregates.
+fn query_shapes(seed: u64) -> Vec<Query> {
+    let mut rng = Mix(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) | 1);
+    let cut = rng.below(1 << 16) as u32;
+    let lo = rng.below(1 << 16) as u32;
+    let hi = rng.below(1 << 16) as u32;
+    let k = 1 + rng.below(32) as usize;
+    vec![
+        // 1. Predicate (Routine 4.1).
+        Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::pred("a", CompareFunc::Greater, cut),
+        ),
+        // 2. Range (Routine 4.4) — inverted for roughly half the seeds.
+        Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("b".into())],
+            BoolExpr::pred("a", CompareFunc::GreaterEqual, lo).and(BoolExpr::pred(
+                "a",
+                CompareFunc::LessEqual,
+                hi,
+            )),
+        ),
+        // 3. CNF (Routine 4.3).
+        Query::filtered(
+            vec![Aggregate::Count, Aggregate::Max("a".into())],
+            BoolExpr::pred("b", CompareFunc::Less, 2048)
+                .or(BoolExpr::pred("c", CompareFunc::GreaterEqual, 48))
+                .and(BoolExpr::pred("a", CompareFunc::NotEqual, cut)),
+        ),
+        // 4. Semi-linear (Routine 4.2).
+        Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::SemiLinear {
+                terms: vec![("a".into(), 1.0), ("b".into(), -2.0)],
+                op: CompareFunc::Greater,
+                constant: cut as f32 / 3.0,
+            },
+        ),
+        // 5. Order statistics (Routine 4.5) — holistic, so the OOM rung
+        // must hand these to the CPU.
+        Query::filtered(
+            vec![
+                Aggregate::Median("a".into()),
+                Aggregate::KthLargest("b".into(), k),
+            ],
+            BoolExpr::pred("c", CompareFunc::Less, 80),
+        ),
+        // 6. Accumulator (Routine 4.6).
+        Query::filtered(
+            vec![
+                Aggregate::Sum("a".into()),
+                Aggregate::Avg("b".into()),
+                Aggregate::Min("b".into()),
+            ],
+            BoolExpr::pred("c", CompareFunc::GreaterEqual, 20),
+        ),
+    ]
+}
+
+/// Run one (seed, query) pair under fault injection and check the
+/// contract. Returns which resilience path answered, for coverage
+/// accounting.
+fn run_one(seed: u64, query: &Query, horizon_ns: u64) -> Option<ResiliencePath> {
+    let host = workload(seed);
+    let mut gpu = GpuTable::device_for(host.record_count(), 16);
+    // 1–6 events per schedule: single-fault schedules let a degradation
+    // rung finish cleanly; dense ones cascade all the way to the CPU.
+    let events = 1 + (seed % 6) as usize;
+    gpu.attach_fault_injector(FaultInjector::from_seed(seed, events, horizon_ns));
+    let resilient = execute_resilient(
+        &mut gpu,
+        &host,
+        query,
+        ExecuteOptions::default(),
+        &RetryPolicy::default(),
+    );
+    let oracle = gpudb::core::cpu_oracle::execute(&host, query);
+    match (resilient, oracle) {
+        (Ok(r), Ok(o)) => {
+            assert!(
+                o.agrees_with(r.output.matched, &r.output.rows),
+                "seed {seed}: silent divergence\n gpu path {:?}: matched {} rows {:?}\n oracle: {o:?}\n ladder: {:?}",
+                r.report.path,
+                r.output.matched,
+                r.output.rows,
+                r.report.degradations,
+            );
+            Some(r.report.path)
+        }
+        (Err(e), Err(oe)) => {
+            assert_eq!(e.to_string(), oe.to_string(), "seed {seed}: error mismatch");
+            None
+        }
+        (Ok(r), Err(oe)) => panic!(
+            "seed {seed}: GPU path {:?} answered {:?} but oracle errors with {oe}",
+            r.report.path, r.output.rows
+        ),
+        (Err(e), Ok(_)) => panic!(
+            "seed {seed}: query failed with {e} (class {:?}) but the oracle answers",
+            e.fault_class()
+        ),
+    }
+}
+
+#[test]
+fn chaos_64_seeds_all_shapes_match_oracle_or_error_typed() {
+    let mut paths_seen = std::collections::BTreeMap::new();
+    let mut runs = 0u32;
+    for seed in 0..64u64 {
+        // Even seeds strike immediately (horizon 0 pins every event at
+        // t=0); odd seeds spread events over 2 ms of modeled time so
+        // faults land mid-query.
+        let horizon = if seed.is_multiple_of(2) { 0 } else { 2_000_000 };
+        for query in query_shapes(seed) {
+            if let Some(path) = run_one(seed, &query, horizon) {
+                *paths_seen.entry(format!("{path:?}")).or_insert(0u32) += 1;
+            }
+            runs += 1;
+        }
+    }
+    assert_eq!(runs, 64 * 6);
+    // The ladder must actually have been exercised: every rung appears
+    // somewhere in the matrix.
+    assert!(
+        paths_seen.contains_key("Gpu"),
+        "no clean GPU path in {paths_seen:?}"
+    );
+    assert!(
+        paths_seen.contains_key("Cpu"),
+        "no CPU fallback exercised in {paths_seen:?}"
+    );
+    assert!(
+        paths_seen.contains_key("OutOfCore"),
+        "no out-of-core degradation exercised in {paths_seen:?}"
+    );
+}
+
+#[test]
+fn chaos_replay_is_byte_deterministic() {
+    // Same seed, same query → identical output, metrics, and ladder.
+    let seed = 17u64;
+    let query = &query_shapes(seed)[1];
+    let run = |_: ()| {
+        let host = workload(seed);
+        let mut gpu = GpuTable::device_for(host.record_count(), 16);
+        gpu.attach_fault_injector(FaultInjector::from_seed(seed, 6, 2_000_000));
+        let r = execute_resilient(
+            &mut gpu,
+            &host,
+            query,
+            ExecuteOptions::default(),
+            &RetryPolicy::default(),
+        )
+        .expect("resilient run");
+        (
+            r.output.matched,
+            r.output.rows.clone(),
+            r.output.metrics.clone(),
+            r.report.retries,
+            r.report.degradations.clone(),
+        )
+    };
+    assert_eq!(run(()), run(()));
+}
+
+#[test]
+fn chaos_without_faults_is_plain_execution() {
+    // No injector attached: the resilient path must equal the plain
+    // executor byte-for-byte (metrics included) — the smoke-gate
+    // guarantee that resilience is free when the device is healthy.
+    let host = workload(7);
+    for query in query_shapes(7) {
+        let mut gpu = GpuTable::device_for(host.record_count(), 16);
+        let resilient = execute_resilient(
+            &mut gpu,
+            &host,
+            &query,
+            ExecuteOptions::default(),
+            &RetryPolicy::default(),
+        )
+        .map(|r| (r.output.matched, r.output.rows, r.output.metrics));
+
+        let mut gpu2 = GpuTable::device_for(host.record_count(), 16);
+        let table = host.upload(&mut gpu2).expect("upload");
+        let plain = execute_with_options(&mut gpu2, &table, &query, ExecuteOptions::default())
+            .map(|o| (o.matched, o.rows, o.metrics));
+        match (resilient, plain) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => panic!("resilient {a:?} vs plain {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn chaos_errors_are_never_panics() {
+    // Sweep a hostile policy (no CPU fallback, single attempt) across
+    // immediate-fault schedules: every outcome is Ok-with-parity or a
+    // typed error — never a panic, never an unclassified failure.
+    for seed in 0..32u64 {
+        let host = workload(seed);
+        let query = &query_shapes(seed)[5];
+        let mut gpu = GpuTable::device_for(host.record_count(), 16);
+        gpu.attach_fault_injector(FaultInjector::from_seed(seed, 4, 0));
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            cpu_fallback: false,
+            ..RetryPolicy::default()
+        };
+        match execute_resilient(&mut gpu, &host, query, ExecuteOptions::default(), &policy) {
+            Ok(r) => {
+                let oracle = gpudb::core::cpu_oracle::execute(&host, query).expect("oracle");
+                assert!(oracle.agrees_with(r.output.matched, &r.output.rows));
+            }
+            Err(e) => {
+                // The class tells callers what to do next; Logic errors
+                // must agree with the oracle's verdict.
+                if e.fault_class() == FaultClass::Logic {
+                    let oracle_err =
+                        gpudb::core::cpu_oracle::execute(&host, query).expect_err("oracle err");
+                    assert_eq!(e.to_string(), oracle_err.to_string());
+                }
+            }
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn tcpip_workload_full_pipeline() {
         compare_select(&mut gpu, &table, 0, CompareFunc::GreaterEqual, threshold).unwrap();
     let cpu_bm = cpu::scan::scan_u32(raw[0], cpu::CmpOp::Ge, threshold);
     assert_eq!(count, cpu_bm.count_ones() as u64);
-    let mask = sel.read_mask(&mut gpu);
+    let mask = sel.read_mask(&mut gpu).unwrap();
     for (i, &selected) in mask.iter().enumerate() {
         assert_eq!(selected, cpu_bm.get(i), "record {i}");
     }
@@ -88,7 +88,7 @@ fn range_and_cnf_agree_with_cpu() {
     ]);
     let cpu_bm = cpu::cnf::eval_cnf(&raw, &cpu_cnf);
     assert_eq!(gpu_count, cpu_bm.count_ones() as u64);
-    let mask = gpu_sel.read_mask(&mut gpu);
+    let mask = gpu_sel.read_mask(&mut gpu).unwrap();
     for (i, &m) in mask.iter().enumerate() {
         assert_eq!(m, cpu_bm.get(i), "record {i}");
     }

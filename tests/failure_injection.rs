@@ -180,7 +180,7 @@ fn empty_table_operations_are_total() {
     let table = GpuTable::upload(&mut gpu, "t", &[("a", &empty)]).unwrap();
     let (sel, count) = compare_select(&mut gpu, &table, 0, CompareFunc::Less, 5).unwrap();
     assert_eq!(count, 0);
-    assert_eq!(sel.read_mask(&mut gpu).len(), 0);
+    assert_eq!(sel.read_mask(&mut gpu).unwrap().len(), 0);
     assert_eq!(aggregate::sum(&mut gpu, &table, 0, None).unwrap(), 0);
     assert!(aggregate::median(&mut gpu, &table, 0, None).is_err());
     let outcome = gpudb::core::sort::sort_values(&mut gpu, &empty).unwrap();

@@ -50,7 +50,7 @@ proptest! {
         let (sel, count) = compare_select(&mut gpu, &table, 0, gpu_op, constant).unwrap();
         let reference = cpu::scan::scan_u32(&values, cpu_op, constant);
         prop_assert_eq!(count, reference.count_ones() as u64);
-        let mask = sel.read_mask(&mut gpu);
+        let mask = sel.read_mask(&mut gpu).unwrap();
         for (i, &m) in mask.iter().enumerate() {
             prop_assert_eq!(m, reference.get(i), "record {}", i);
         }
@@ -66,7 +66,7 @@ proptest! {
         let (sel, count) = range_select(&mut gpu, &table, 0, low, high).unwrap();
         let reference = cpu::cnf::eval_range(&values, low, high);
         prop_assert_eq!(count, reference.count_ones() as u64);
-        let mask = sel.read_mask(&mut gpu);
+        let mask = sel.read_mask(&mut gpu).unwrap();
         for (i, &m) in mask.iter().enumerate() {
             prop_assert_eq!(m, reference.get(i), "record {}", i);
         }
@@ -213,7 +213,7 @@ proptest! {
         let refs: Vec<&[u32]> = columns.iter().map(|c| c.as_slice()).collect();
         let reference = cpu::cnf::eval_cnf(&refs, &cpu::Cnf::new(cpu_clauses));
         prop_assert_eq!(count, reference.count_ones() as u64);
-        let mask = sel.read_mask(&mut gpu);
+        let mask = sel.read_mask(&mut gpu).unwrap();
         for (i, &m) in mask.iter().enumerate() {
             prop_assert_eq!(m, reference.get(i), "record {}", i);
         }
@@ -258,7 +258,7 @@ proptest! {
             })
         };
         let expected: Vec<bool> = col_a.iter().map(|&v| reference(v)).collect();
-        prop_assert_eq!(sel.read_mask(&mut gpu), expected.clone());
+        prop_assert_eq!(sel.read_mask(&mut gpu).unwrap(), expected.clone());
         prop_assert_eq!(count, expected.iter().filter(|&&b| b).count() as u64);
     }
 
