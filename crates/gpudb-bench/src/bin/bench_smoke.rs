@@ -8,13 +8,22 @@
 //!
 //! ```text
 //! bench-smoke [--out PATH] [--baseline PATH] [--tolerance FRACTION]
-//!             [--bless] [--no-gate] [--trace-out DIR]
+//!             [--bless] [--no-gate] [--trace-out DIR] [--shards LIST]
 //! ```
 //!
 //! `--trace-out DIR` additionally re-runs every experiment with a span
 //! sink attached (cost-free; the gated report is untouched) and writes
 //! `<id>.trace.json` / `<id>.folded` / `<id>.spans.jsonl` per
 //! experiment — see `docs/observability.md`.
+//!
+//! `--shards LIST` (e.g. `--shards 1,4,16`) switches to the shard
+//! matrix: the sharded smoke queries run at every listed device count,
+//! one `BENCH_shards_<n>.json` report plus one `SHARD_results_<n>.txt`
+//! checksum digest per count is written next to `--out`, and the run
+//! fails unless every count's result checksums are byte-identical —
+//! the sharded-merge correctness gate. With `--trace-out DIR`, each
+//! count also writes merged span trees (one `shard-i` stage per device)
+//! under `DIR/shards-<n>/`.
 
 use gpudb_bench::regress::{self, DEFAULT_TOLERANCE};
 use gpudb_bench::smoke::{self, SmokeReport};
@@ -30,6 +39,7 @@ struct Args {
     bless: bool,
     gate: bool,
     trace_out: Option<PathBuf>,
+    shards: Vec<usize>,
 }
 
 fn default_baseline() -> PathBuf {
@@ -45,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         bless: false,
         gate: true,
         trace_out: None,
+        shards: Vec::new(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -69,10 +80,28 @@ fn parse_args() -> Result<Args, String> {
             "--bless" => args.bless = true,
             "--no-gate" => args.gate = false,
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--shards" => {
+                let raw = value("--shards")?;
+                args.shards = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                format!("bad --shards {raw:?}: counts must be positive integers")
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.shards.is_empty() {
+                    return Err(format!("--shards {raw:?} names no counts"));
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "bench-smoke [--out PATH] [--baseline PATH] [--tolerance FRACTION] \
-                     [--bless] [--no-gate] [--trace-out DIR]"
+                     [--bless] [--no-gate] [--trace-out DIR] [--shards LIST]"
                 );
                 std::process::exit(0);
             }
@@ -92,8 +121,96 @@ fn load_baseline(path: &PathBuf) -> Result<Option<SmokeReport>, String> {
     }
 }
 
+/// One file next to `out`, named for the shard count.
+fn sibling(out: &std::path::Path, name: String) -> PathBuf {
+    match out.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => PathBuf::from(name),
+        Some(dir) => dir.join(name),
+        None => PathBuf::from(name),
+    }
+}
+
+/// The shard matrix: run the sharded smoke queries at every requested
+/// device count, write one report + one checksum digest per count, and
+/// fail unless the digests are byte-identical across counts.
+fn run_shard_matrix(args: &Args) -> Result<ExitCode, String> {
+    let mut reference: Option<(usize, String)> = None;
+    let mut mismatched = false;
+    for &shards in &args.shards {
+        let (report, trees) = smoke::run_sharded(shards, args.trace_out.is_some())
+            .map_err(|e| format!("sharded run at {shards} shard(s) failed: {e}"))?;
+        let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
+        let report_path = sibling(&args.out, format!("BENCH_shards_{shards}.json"));
+        std::fs::write(&report_path, &json)
+            .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+
+        // The digest holds only shard-count-invariant fields (id +
+        // result checksum), so `cmp` across counts is meaningful.
+        let digest: String = report
+            .experiments
+            .iter()
+            .map(|e| format!("{} {}\n", e.id, e.checksum))
+            .collect();
+        let digest_path = sibling(&args.out, format!("SHARD_results_{shards}.txt"));
+        std::fs::write(&digest_path, &digest)
+            .map_err(|e| format!("write {}: {e}", digest_path.display()))?;
+        println!(
+            "wrote {} and {}",
+            report_path.display(),
+            digest_path.display()
+        );
+        for exp in &report.experiments {
+            println!(
+                "  {:<20} shards {:>3}  modeled {:>10.3} ms  {}",
+                exp.id,
+                shards,
+                exp.modeled_ns as f64 / 1e6,
+                exp.checksum
+            );
+        }
+
+        if let Some(dir) = &args.trace_out {
+            let subdir = dir.join(format!("shards-{shards}"));
+            for (id, tree) in &trees {
+                let paths = traceout::write_all(&subdir, id, tree)
+                    .map_err(|e| format!("write traces for {id}: {e}"))?;
+                println!(
+                    "  wrote {} ({} spans)",
+                    paths[0].display(),
+                    tree.span_count()
+                );
+            }
+        }
+
+        match &reference {
+            None => reference = Some((shards, digest)),
+            Some((ref_shards, ref_digest)) => {
+                if digest != *ref_digest {
+                    mismatched = true;
+                    eprintln!(
+                        "shard matrix FAILED: result checksums differ between {ref_shards} \
+                         and {shards} shard(s) — the sharded merge is not exact"
+                    );
+                }
+            }
+        }
+    }
+    if mismatched {
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!(
+            "shard matrix PASSED: result checksums byte-identical across {:?} shard(s)",
+            args.shards
+        );
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
+    if !args.shards.is_empty() {
+        return run_shard_matrix(&args);
+    }
     let report = smoke::run_all().map_err(|e| format!("smoke run failed: {e}"))?;
     let json = serde_json::to_string_pretty(&report).map_err(|e| format!("serialize: {e}"))?;
     std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out.display()))?;

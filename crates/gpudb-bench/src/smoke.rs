@@ -10,6 +10,7 @@
 //! against a checked-in baseline (`gpudb-bench/results/baselines/`).
 
 use crate::harness::Workload;
+use gpudb_core::cpu_oracle::HostTable;
 use gpudb_core::metrics::{ops, MetricsLog, MetricsRecord};
 use gpudb_core::query::{execute, Aggregate, BoolExpr, Query};
 use gpudb_core::{EngineResult, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
@@ -96,7 +97,7 @@ pub struct SmokeReport {
 }
 
 /// Ids of all smoke experiments, in run order.
-pub const SMOKE_EXPERIMENTS: [&str; 10] = [
+pub const SMOKE_EXPERIMENTS: [&str; 11] = [
     "fig2_copy",
     "fig3_predicate",
     "fig4_range",
@@ -107,6 +108,7 @@ pub const SMOKE_EXPERIMENTS: [&str; 10] = [
     "fig9_kth_selective",
     "fig10_accumulator",
     "query_executor",
+    "cnf_fusion_ablation",
 ];
 
 struct Outcome {
@@ -190,6 +192,7 @@ fn run_inner(
         "fig9_kth_selective" => kth_selective(&mut w, &mut out)?,
         "fig10_accumulator" => accumulator(&mut w, &mut out)?,
         "query_executor" => query_executor(&mut w, &mut out)?,
+        "cnf_fusion_ablation" => cnf_fusion_ablation(&mut w, &mut out)?,
         other => {
             return Err(gpudb_core::EngineError::InvalidQuery(format!(
                 "unknown smoke experiment {other:?}; known: {SMOKE_EXPERIMENTS:?}"
@@ -374,21 +377,184 @@ fn query_executor(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
         },
     );
     let result = execute(&mut w.gpu, &w.table, &query)?;
-    out.checksum.push_u64(result.matched);
-    for (label, value) in &result.rows {
+    checksum_result(&mut out.checksum, result.matched, &result.rows);
+    out.metrics.extend(result.metrics);
+    Ok(())
+}
+
+/// Fusion ablation: a four-clause conjunction whose first two clauses
+/// share an attribute, evaluated with the paper's literal protocol and
+/// with pass fusion. Both counts fold into the checksum (they must be
+/// equal — fusion only removes passes), and the two metrics records put
+/// the modeled saving on the baseline, so a regression in the optimizer
+/// shows up in the gate like any other cost change.
+fn cnf_fusion_ablation(w: &mut Workload, out: &mut Outcome) -> EngineResult<()> {
+    let cnf = GpuCnf::all_of(vec![
+        GpuPredicate::new(0, CompareFunc::GreaterEqual, 20_000),
+        GpuPredicate::new(0, CompareFunc::Less, 400_000),
+        GpuPredicate::new(1, CompareFunc::Less, 500),
+        GpuPredicate::new(2, CompareFunc::Greater, 2_000),
+    ]);
+    let (unfused_result, unfused_record) = gpudb_core::metrics::observe(
+        &mut w.gpu,
+        "boolean/eval_cnf_unfused",
+        SMOKE_RECORDS as u64,
+        |gpu| gpudb_core::boolean::eval_cnf_select_unfused(gpu, &w.table, &cnf).map(|(_, c)| c),
+    );
+    let unfused = unfused_result?;
+    out.metrics.push(unfused_record);
+    out.checksum.push_u64(unfused);
+    let fused = out.record(ops::cnf_count(&mut w.gpu, &w.table, &cnf)?);
+    out.checksum.push_u64(fused);
+    Ok(())
+}
+
+/// Ids of the sharded smoke queries, in run order — one query per
+/// operator family the sharded merge algebra has to get right.
+pub const SHARD_QUERIES: [&str; 5] = [
+    "shard_predicate",
+    "shard_range",
+    "shard_cnf",
+    "shard_order_stats",
+    "shard_accumulator",
+];
+
+/// The smoke workload as a host-resident table, the input shape the
+/// sharded executor partitions.
+pub fn smoke_host_table() -> EngineResult<HostTable> {
+    let dataset = gpudb_data::tcpip::generate(SMOKE_RECORDS, crate::harness::SEED);
+    let columns: Vec<(String, Vec<u32>)> = dataset
+        .columns
+        .into_iter()
+        .map(|c| (c.name, c.values))
+        .collect();
+    HostTable::new(dataset.name, columns)
+}
+
+/// The query behind one sharded smoke id.
+fn shard_query(id: &str) -> EngineResult<Query> {
+    let max = (1u32 << 19) - 1;
+    Ok(match id {
+        "shard_predicate" => Query::filtered(
+            vec![Aggregate::Count],
+            BoolExpr::pred("data_count", CompareFunc::Greater, max / 2),
+        ),
+        "shard_range" => Query::filtered(
+            vec![Aggregate::Count, Aggregate::Sum("data_count".into())],
+            BoolExpr::Between {
+                column: "data_count".into(),
+                low: 10_000,
+                high: 400_000,
+            },
+        ),
+        "shard_cnf" => Query::filtered(
+            vec![Aggregate::Count, Aggregate::Max("flow_rate".into())],
+            BoolExpr::pred("data_loss", CompareFunc::Less, 500)
+                .or(BoolExpr::pred(
+                    "retransmissions",
+                    CompareFunc::GreaterEqual,
+                    8,
+                ))
+                .and(BoolExpr::pred("data_count", CompareFunc::NotEqual, 77)),
+        ),
+        "shard_order_stats" => Query::filtered(
+            vec![
+                Aggregate::Median("data_count".into()),
+                Aggregate::KthLargest("flow_rate".into(), 25),
+            ],
+            BoolExpr::pred("data_loss", CompareFunc::Less, 400),
+        ),
+        "shard_accumulator" => Query::filtered(
+            vec![
+                Aggregate::Sum("data_count".into()),
+                Aggregate::Avg("flow_rate".into()),
+                Aggregate::Min("data_loss".into()),
+            ],
+            BoolExpr::pred("retransmissions", CompareFunc::GreaterEqual, 4),
+        ),
+        other => {
+            return Err(gpudb_core::EngineError::InvalidQuery(format!(
+                "unknown sharded smoke query {other:?}; known: {SHARD_QUERIES:?}"
+            )))
+        }
+    })
+}
+
+/// Fold a query result (matched count + aggregate rows) into `checksum`
+/// exactly as [`query_executor`] does, so sharded and single-device
+/// checksums are comparable folds of the same values.
+fn checksum_result(
+    checksum: &mut Checksum,
+    matched: u64,
+    rows: &[(String, gpudb_core::query::AggValue)],
+) {
+    checksum.push_u64(matched);
+    for (label, value) in rows {
         for b in label.bytes() {
-            out.checksum.push_u64(u64::from(b));
+            checksum.push_u64(u64::from(b));
         }
         match value {
             gpudb_core::query::AggValue::Count(v) | gpudb_core::query::AggValue::Sum(v) => {
-                out.checksum.push_u64(*v)
+                checksum.push_u64(*v)
             }
-            gpudb_core::query::AggValue::Avg(v) => out.checksum.push_f64(*v),
-            gpudb_core::query::AggValue::Value(v) => out.checksum.push_u32(*v),
+            gpudb_core::query::AggValue::Avg(v) => checksum.push_f64(*v),
+            gpudb_core::query::AggValue::Value(v) => checksum.push_u32(*v),
         }
     }
-    out.metrics.extend(result.metrics);
-    Ok(())
+}
+
+/// Run every sharded smoke query at `shards` devices and return the
+/// report plus (when `trace` is set) the merged per-query span trees —
+/// each with one `shard-i` stage per device.
+///
+/// The checksum folds the matched count, every aggregate row, and the
+/// full concatenated selection mask, so it is invariant across shard
+/// counts exactly when the sharded executor merges exactly. The
+/// `shard-matrix` CI job diffs these checksums byte-for-byte between
+/// `--shards` counts.
+pub fn run_sharded(
+    shards: usize,
+    trace: bool,
+) -> EngineResult<(SmokeReport, Vec<(String, SpanTree)>)> {
+    let host = smoke_host_table()?;
+    let opts = gpudb_core::parallel::ShardOptions {
+        shards,
+        options: gpudb_core::query::ExecuteOptions {
+            trace: trace.then_some(TraceLevel::Passes),
+            ..gpudb_core::query::ExecuteOptions::default()
+        },
+        ..gpudb_core::parallel::ShardOptions::default()
+    };
+    let mut experiments = Vec::with_capacity(SHARD_QUERIES.len());
+    let mut trees = Vec::new();
+    for id in SHARD_QUERIES {
+        let query = shard_query(id)?;
+        let out = gpudb_core::parallel::execute_sharded(&host, &query, &opts)?;
+        let mut checksum = Checksum::new();
+        checksum_result(&mut checksum, out.output.matched, &out.output.rows);
+        for &selected in &out.mask {
+            checksum.push_u64(u64::from(selected));
+        }
+        if let Some(tree) = out.output.trace.clone() {
+            trees.push((id.to_string(), tree));
+        }
+        experiments.push(SmokeExperiment {
+            id: id.to_string(),
+            input_records: SMOKE_RECORDS as u64,
+            modeled_ns: out.report.merged_ns,
+            checksum: checksum.hex(),
+            metrics: out.output.metrics,
+        });
+    }
+    Ok((
+        SmokeReport {
+            schema_version: SCHEMA_VERSION,
+            seed: crate::harness::SEED,
+            records: SMOKE_RECORDS as u64,
+            experiments,
+        },
+        trees,
+    ))
 }
 
 /// Render the one-line-per-experiment summary table, with the delta
@@ -531,6 +697,38 @@ mod tests {
             gpudb_obs::chrome::trace_json(&tree),
             gpudb_obs::chrome::trace_json(&tree2)
         );
+    }
+
+    #[test]
+    fn sharded_checksums_are_shard_count_invariant() {
+        let (one, _) = run_sharded(1, false).unwrap();
+        let (three, trees) = run_sharded(3, false).unwrap();
+        assert!(trees.is_empty(), "untraced run must not collect spans");
+        let ck = |r: &SmokeReport| {
+            r.experiments
+                .iter()
+                .map(|e| (e.id.clone(), e.checksum.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ck(&one), ck(&three));
+        assert_eq!(one.experiments.len(), SHARD_QUERIES.len());
+        assert!(one.experiments.iter().all(|e| e.modeled_ns > 0));
+    }
+
+    #[test]
+    fn sharded_trace_collects_one_tree_per_query() {
+        let (_, trees) = run_sharded(2, true).unwrap();
+        assert_eq!(trees.len(), SHARD_QUERIES.len());
+        for (id, tree) in &trees {
+            // Each merged tree holds one stage per shard device.
+            let stages = tree.spans_of_kind(SpanKind::Stage);
+            assert!(
+                stages.iter().any(|s| s.name == "shard-0")
+                    && stages.iter().any(|s| s.name == "shard-1"),
+                "{id}: missing shard stages in {:?}",
+                stages.iter().map(|s| &s.name).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

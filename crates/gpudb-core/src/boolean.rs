@@ -119,8 +119,30 @@ impl GpuCnf {
 ///
 /// Dispatches to the one-pass-per-predicate conjunction fast path when
 /// every clause is a single predicate (the multi-attribute AND shape of
-/// Figure 5); general CNFs run the full Routine 4.3 protocol.
+/// Figure 5); general CNFs run the full Routine 4.3 protocol. Both
+/// paths run **pass-fused** (see [`eval_conjunction_select_fused`] and
+/// [`eval_cnf_general_select_fused`]): adjacent predicates over the same
+/// column share one `Compare` depth copy, and the opening stencil clear
+/// is folded into the first predicate pass. Fusion only removes passes —
+/// the selection and count are bit-identical to the unfused protocol
+/// ([`eval_cnf_select_unfused`]).
 pub fn eval_cnf_select(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    cnf: &GpuCnf,
+) -> EngineResult<(Selection, u64)> {
+    if !cnf.clauses.is_empty() && cnf.clauses.iter().all(|c| c.predicates.len() == 1) {
+        cnf.validate(table)?;
+        let predicates: Vec<GpuPredicate> = cnf.clauses.iter().map(|c| c.predicates[0]).collect();
+        return eval_conjunction_select_fused(gpu, table, &predicates);
+    }
+    eval_cnf_general_select_fused(gpu, table, cnf)
+}
+
+/// [`eval_cnf_select`] without pass fusion — the paper's literal
+/// protocols, kept callable so the differential tests and ablation
+/// benchmarks can compare fused against unfused execution.
+pub fn eval_cnf_select_unfused(
     gpu: &mut Gpu,
     table: &GpuTable,
     cnf: &GpuCnf,
@@ -232,6 +254,162 @@ pub fn eval_cnf_general_select(
         StencilOp::Decr // 2 -> 1
     } else {
         StencilOp::Keep // already 1
+    };
+    gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, normalize_op);
+    gpu.begin_occlusion_query()?;
+    gpu.draw_quad(table.rects(), 0.0)?;
+    let count = gpu.end_occlusion_query_async()?;
+    gpu.reset_state();
+    debug_assert_eq!(SELECTED, 1);
+    Ok((Selection::over_table(table), count))
+}
+
+/// Pass-fused conjunction: identical results to
+/// [`eval_conjunction_select`], with two fusions applied:
+///
+/// * **clear collapse** — instead of `ClearStencil(1)` followed by
+///   `Equal`-tested comparison passes, the *first* predicate runs as an
+///   *establishing pass*: stencil test `Always` with reference
+///   [`SELECTED`], `REPLACE` on depth-pass and `ZERO` on depth-fail.
+///   Every record pixel gets a definite value from the pass itself, so
+///   no prior clear is needed;
+/// * **copy elision** — comparison passes never write depth, so when
+///   adjacent predicates test the same column the depth buffer already
+///   holds it and the redundant `Compare` depth copy is skipped.
+pub fn eval_conjunction_select_fused(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    predicates: &[GpuPredicate],
+) -> EngineResult<(Selection, u64)> {
+    if predicates.is_empty() {
+        // No establishing pass to define the stencil: fall back to the
+        // clear-based protocol (which selects everything).
+        return eval_conjunction_select(gpu, table, predicates);
+    }
+    for p in predicates {
+        if p.column >= table.column_count() {
+            return Err(EngineError::ColumnIndexOutOfRange(p.column));
+        }
+    }
+    gpu.set_phase(Phase::Compute);
+    gpu.reset_state();
+    let mut depth_holds: Option<usize> = None;
+    for (i, p) in predicates.iter().enumerate() {
+        if depth_holds != Some(p.column) {
+            copy_to_depth(gpu, table, p.column)?;
+            depth_holds = Some(p.column);
+        }
+        gpu.set_phase(Phase::Compute);
+        if i == 0 {
+            // Establishing pass: depth-pass → SELECTED, depth-fail → 0.
+            gpu.set_stencil_func(true, CompareFunc::Always, SELECTED, 0xFF);
+            gpu.set_stencil_op(StencilOp::Keep, StencilOp::Zero, StencilOp::Replace);
+        } else {
+            gpu.set_stencil_func(true, CompareFunc::Equal, SELECTED, 0xFF);
+            gpu.set_stencil_op(StencilOp::Keep, StencilOp::Zero, StencilOp::Keep);
+        }
+        comparison_pass(gpu, table, p.op, p.constant, OcclusionMode::None)?;
+    }
+    // Count the survivors (asynchronously, §5.11).
+    gpu.set_color_mask(ColorMask::NONE);
+    gpu.set_depth_test(false, CompareFunc::Always);
+    gpu.set_depth_write(false);
+    gpu.set_stencil_func(true, CompareFunc::Equal, SELECTED, 0xFF);
+    gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Keep);
+    gpu.begin_occlusion_query()?;
+    gpu.draw_quad(table.rects(), 0.0)?;
+    let count = gpu.end_occlusion_query_async()?;
+    gpu.reset_state();
+    Ok((Selection::over_table(table), count))
+}
+
+/// Pass-fused Routine 4.3: identical results to
+/// [`eval_cnf_general_select`], with the same two fusions as the
+/// conjunction path where the protocol allows them:
+///
+/// * the opening `ClearStencil(1)` collapses into the first clause's
+///   comparison pass **only when that clause is a single predicate** —
+///   the establishing pass writes 2 on depth-pass and 0 on depth-fail,
+///   exactly the post-cleanup state of clause 1, so the clause-1 cleanup
+///   pass is dropped too. A multi-disjunct first clause keeps the clear:
+///   no single stencil op can OR a disjunct into an unwritten buffer;
+/// * adjacent disjuncts over the same column share one depth copy
+///   (cleanup passes don't write depth, so elision crosses clause
+///   boundaries).
+pub fn eval_cnf_general_select_fused(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    cnf: &GpuCnf,
+) -> EngineResult<(Selection, u64)> {
+    cnf.validate(table)?;
+    if cnf.clauses.is_empty() {
+        let sel = Selection::select_all(gpu, table)?;
+        let count = table.record_count() as u64;
+        return Ok((sel, count));
+    }
+
+    gpu.set_phase(Phase::Compute);
+    gpu.reset_state();
+    let mut depth_holds: Option<usize> = None;
+    let establish = cnf.clauses[0].predicates.len() == 1;
+    if establish {
+        // Clause 1 fused with the clear: records passing the predicate
+        // land directly on the even marker 2 (as Incr would have taken
+        // them), everything else on 0 (as the cleanup would have).
+        let p = cnf.clauses[0].predicates[0];
+        copy_to_depth(gpu, table, p.column)?;
+        depth_holds = Some(p.column);
+        gpu.set_phase(Phase::Compute);
+        gpu.set_stencil_func(true, CompareFunc::Always, 2, 0xFF);
+        gpu.set_stencil_op(StencilOp::Keep, StencilOp::Zero, StencilOp::Replace);
+        comparison_pass(gpu, table, p.op, p.constant, OcclusionMode::None)?;
+    } else {
+        // Routine 4.3 line 1: Clear Stencil to 1.
+        gpu.clear_stencil(1);
+    }
+
+    let start = usize::from(establish);
+    for (index, clause) in cnf.clauses.iter().enumerate().skip(start) {
+        let i = index + 1; // the paper's 1-based clause counter
+        let (valid, promote_op) = if i % 2 == 1 {
+            (1u8, StencilOp::Incr)
+        } else {
+            (2u8, StencilOp::Decr)
+        };
+
+        for p in &clause.predicates {
+            if depth_holds != Some(p.column) {
+                copy_to_depth(gpu, table, p.column)?;
+                depth_holds = Some(p.column);
+            }
+            gpu.set_phase(Phase::Compute);
+            gpu.set_stencil_func(true, CompareFunc::Equal, valid, 0xFF);
+            gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, promote_op);
+            comparison_pass(gpu, table, p.op, p.constant, OcclusionMode::None)?;
+        }
+
+        // Cleanup: zero records still at the old valid value.
+        gpu.set_phase(Phase::Compute);
+        gpu.set_color_mask(ColorMask::NONE);
+        gpu.set_depth_test(false, CompareFunc::Always);
+        gpu.set_depth_write(false);
+        gpu.set_stencil_func(true, CompareFunc::Equal, valid, 0xFF);
+        gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Zero);
+        gpu.draw_quad(table.rects(), 0.0)?;
+    }
+
+    // Normalize the surviving marker to SELECTED (1) and count survivors
+    // in the same pass — identical to the unfused protocol, because the
+    // fused clause 1 leaves exactly the marker Incr would have.
+    let final_valid = if cnf.clauses.len() % 2 == 1 { 2u8 } else { 1u8 };
+    gpu.set_color_mask(ColorMask::NONE);
+    gpu.set_depth_test(false, CompareFunc::Always);
+    gpu.set_depth_write(false);
+    gpu.set_stencil_func(true, CompareFunc::Equal, final_valid, 0xFF);
+    let normalize_op = if final_valid == 2 {
+        StencilOp::Decr
+    } else {
+        StencilOp::Keep
     };
     gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, normalize_op);
     gpu.begin_occlusion_query()?;
@@ -601,6 +779,217 @@ mod tests {
         eval_cnf_general_select(&mut gpu, &t, &GpuCnf::all_of(preds)).unwrap();
         // General protocol: per clause (copy + compare + cleanup) + count.
         assert_eq!(gpu.stats().draw_calls, 7);
+    }
+
+    /// Every CNF shape the suite exercises, for fused/unfused parity.
+    fn parity_cnfs() -> Vec<GpuCnf> {
+        vec![
+            GpuCnf::always_true(),
+            GpuCnf::all_of(vec![GpuPredicate::new(0, Greater, 20)]),
+            GpuCnf::all_of(vec![
+                GpuPredicate::new(0, GreaterEqual, 10),
+                GpuPredicate::new(1, Less, 40),
+            ]),
+            // Adjacent predicates on the same column: copy elision fires.
+            GpuCnf::all_of(vec![
+                GpuPredicate::new(0, GreaterEqual, 10),
+                GpuPredicate::new(0, Less, 40),
+                GpuPredicate::new(1, NotEqual, 13),
+            ]),
+            // Single-predicate first clause + a disjunction: the general
+            // protocol's clear collapse fires.
+            GpuCnf::new(vec![
+                GpuClause::single(GpuPredicate::new(0, GreaterEqual, 5)),
+                GpuClause::any(vec![
+                    GpuPredicate::new(0, Less, 30),
+                    GpuPredicate::new(1, GreaterEqual, 40),
+                ]),
+            ]),
+            // Multi-disjunct first clause: the clear must survive.
+            GpuCnf::new(vec![
+                GpuClause::any(vec![
+                    GpuPredicate::new(0, Less, 16),
+                    GpuPredicate::new(1, GreaterEqual, 48),
+                ]),
+                GpuClause::single(GpuPredicate::new(1, NotEqual, 22)),
+            ]),
+            // Odd clause count through the fused first clause.
+            GpuCnf::new(vec![
+                GpuClause::single(GpuPredicate::new(0, GreaterEqual, 8)),
+                GpuClause::any(vec![
+                    GpuPredicate::new(0, Less, 56),
+                    GpuPredicate::new(1, Less, 10),
+                ]),
+                GpuClause::single(GpuPredicate::new(1, NotEqual, 30)),
+            ]),
+            // Empty clause (FALSE) in first position.
+            GpuCnf::new(vec![
+                GpuClause::default(),
+                GpuClause::single(GpuPredicate::new(0, Less, 30)),
+            ]),
+            // Contradiction on one column (elision + establishing pass).
+            GpuCnf::all_of(vec![
+                GpuPredicate::new(0, Less, 10),
+                GpuPredicate::new(0, GreaterEqual, 10),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn fused_and_unfused_dispatch_agree_byte_for_byte() {
+        let a: Vec<u32> = (0..80).map(|i| (i * 13) % 64).collect();
+        let b: Vec<u32> = (0..80).map(|i| (i * 17 + 5) % 64).collect();
+        let cols: [(&str, &[u32]); 2] = [("a", &a), ("b", &b)];
+        for cnf in parity_cnfs() {
+            let (mut gpu, t) = setup(&cols);
+            let (sel_f, count_f) = eval_cnf_select(&mut gpu, &t, &cnf).unwrap();
+            let mask_f = sel_f.read_mask(&mut gpu).unwrap();
+
+            let (mut gpu2, t2) = setup(&cols);
+            let (sel_u, count_u) = eval_cnf_select_unfused(&mut gpu2, &t2, &cnf).unwrap();
+            let mask_u = sel_u.read_mask(&mut gpu2).unwrap();
+
+            assert_eq!(mask_f, mask_u, "cnf {cnf:?}");
+            assert_eq!(count_f, count_u, "cnf {cnf:?}");
+        }
+    }
+
+    #[test]
+    fn fusion_elides_repeated_column_copies() {
+        // Three predicates, first two on the same column: the fused path
+        // copies the column once, the unfused path twice.
+        let a: Vec<u32> = (0..50).collect();
+        let b: Vec<u32> = (0..50).rev().collect();
+        let (mut gpu, t) = setup(&[("a", &a), ("b", &b)]);
+        let preds = vec![
+            GpuPredicate::new(0, GreaterEqual, 10),
+            GpuPredicate::new(0, Less, 40),
+            GpuPredicate::new(1, Less, 45),
+        ];
+        gpu.reset_stats();
+        eval_conjunction_select_fused(&mut gpu, &t, &preds).unwrap();
+        // 2 copies (a once, b once) + 3 comparisons + 1 count pass.
+        assert_eq!(gpu.stats().draw_calls, 6);
+
+        gpu.reset_stats();
+        eval_conjunction_select(&mut gpu, &t, &preds).unwrap();
+        // 3 copies + 3 comparisons + 1 count pass.
+        assert_eq!(gpu.stats().draw_calls, 7);
+    }
+
+    #[test]
+    fn fusion_eliminates_the_stencil_clear() {
+        // Record the pass plans: the fused conjunction and the fused
+        // single-predicate-first general CNF must emit no ClearStencil.
+        use gpudb_sim::trace::{PassOp, RecordMode};
+        let a: Vec<u32> = (0..40).collect();
+        let b: Vec<u32> = (0..40).rev().collect();
+        let clears = |ops: &[PassOp]| {
+            ops.iter()
+                .filter(|op| matches!(op, PassOp::ClearStencil { .. }))
+                .count()
+        };
+        let run = |fused: bool, cnf: &GpuCnf| {
+            let (mut gpu, t) = setup(&[("a", &a), ("b", &b)]);
+            gpu.enable_tracing(RecordMode::RecordAndExecute);
+            if fused {
+                eval_cnf_select(&mut gpu, &t, cnf).unwrap();
+            } else {
+                eval_cnf_select_unfused(&mut gpu, &t, cnf).unwrap();
+            }
+            let plans = gpu.take_plans();
+            plans.iter().map(|p| clears(&p.ops)).sum::<usize>()
+        };
+        let conjunction = GpuCnf::all_of(vec![
+            GpuPredicate::new(0, GreaterEqual, 10),
+            GpuPredicate::new(1, Less, 30),
+        ]);
+        assert_eq!(run(false, &conjunction), 1);
+        assert_eq!(run(true, &conjunction), 0);
+
+        let general = GpuCnf::new(vec![
+            GpuClause::single(GpuPredicate::new(0, GreaterEqual, 5)),
+            GpuClause::any(vec![
+                GpuPredicate::new(0, Less, 30),
+                GpuPredicate::new(1, GreaterEqual, 20),
+            ]),
+        ]);
+        assert_eq!(run(false, &general), 1);
+        assert_eq!(run(true, &general), 0);
+
+        // Multi-disjunct first clause: no establishing pass is possible,
+        // the clear must stay.
+        let unfusable = GpuCnf::new(vec![GpuClause::any(vec![
+            GpuPredicate::new(0, Less, 16),
+            GpuPredicate::new(1, GreaterEqual, 30),
+        ])]);
+        assert_eq!(run(true, &unfusable), 1);
+    }
+
+    #[test]
+    fn fusion_reduces_modeled_cost() {
+        let a: Vec<u32> = (0..60).collect();
+        let cnf = GpuCnf::all_of(vec![
+            GpuPredicate::new(0, GreaterEqual, 10),
+            GpuPredicate::new(0, Less, 50),
+        ]);
+        let modeled = |fused: bool| {
+            let (mut gpu, t) = setup(&[("a", &a)]);
+            let (result, timing) = crate::timing::measure(&mut gpu, |gpu| {
+                if fused {
+                    eval_cnf_select(gpu, &t, &cnf)
+                } else {
+                    eval_cnf_select_unfused(gpu, &t, &cnf)
+                }
+            });
+            result.unwrap();
+            timing.total()
+        };
+        let fused = modeled(true);
+        let unfused = modeled(false);
+        assert!(
+            fused < unfused,
+            "fused {fused} should cost less than unfused {unfused}"
+        );
+    }
+
+    #[test]
+    fn fused_general_cnf_empty_first_clause_keeps_clear_semantics() {
+        // An empty first clause is FALSE: nothing selected, fused or not.
+        let a: Vec<u32> = (0..30).collect();
+        let cnf = GpuCnf::new(vec![GpuClause::default()]);
+        let (mut gpu, t) = setup(&[("a", &a)]);
+        let (sel, count) = eval_cnf_general_select_fused(&mut gpu, &t, &cnf).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), vec![false; 30]);
+    }
+
+    #[test]
+    fn fused_empty_conjunction_selects_all() {
+        let a: Vec<u32> = (0..25).collect();
+        let (mut gpu, t) = setup(&[("a", &a)]);
+        let (sel, count) = eval_conjunction_select_fused(&mut gpu, &t, &[]).unwrap();
+        assert_eq!(count, 25);
+        assert_eq!(sel.read_mask(&mut gpu).unwrap(), vec![true; 25]);
+    }
+
+    #[test]
+    fn fused_paths_validate_columns() {
+        let a: Vec<u32> = (0..10).collect();
+        let (mut gpu, t) = setup(&[("a", &a)]);
+        assert!(matches!(
+            eval_conjunction_select_fused(&mut gpu, &t, &[GpuPredicate::new(5, Less, 1)])
+                .unwrap_err(),
+            EngineError::ColumnIndexOutOfRange(5)
+        ));
+        let cnf = GpuCnf::new(vec![GpuClause::any(vec![
+            GpuPredicate::new(0, Less, 1),
+            GpuPredicate::new(6, Less, 1),
+        ])]);
+        assert!(matches!(
+            eval_cnf_general_select_fused(&mut gpu, &t, &cnf).unwrap_err(),
+            EngineError::ColumnIndexOutOfRange(6)
+        ));
     }
 
     fn dnf_reference(dnf: &GpuDnf, columns: &[&[u32]], row: usize) -> bool {

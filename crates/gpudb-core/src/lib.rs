@@ -69,6 +69,7 @@ pub mod metrics;
 pub mod olap;
 pub mod ops;
 pub mod out_of_core;
+pub mod parallel;
 pub mod predicate;
 pub mod query;
 pub mod range;
@@ -84,6 +85,10 @@ pub use boolean::{GpuClause, GpuCnf, GpuDnf, GpuPredicate, GpuTerm};
 pub use cpu_oracle::{HostTable, OracleOutput};
 pub use error::{EngineError, EngineResult};
 pub use metrics::{MetricsLog, MetricsRecord};
+pub use parallel::{
+    execute_sharded, execute_sharded_with_faults, ShardOptions, ShardReport, ShardRun,
+    ShardedOutput,
+};
 pub use resilience::{ResiliencePath, ResilienceReport, ResilientOutput, RetryPolicy};
 pub use selection::Selection;
 pub use table::GpuTable;

@@ -1,0 +1,1207 @@
+//! Sharded multi-device parallel execution.
+//!
+//! Following the partition-parallel designs of tile-based GPU analytics
+//! engines, a query is executed by splitting the table into contiguous
+//! row-range shards, giving every shard its own simulated device (own
+//! modeled clock, own framebuffer), running the selection and aggregate
+//! passes on real OS threads, and merging per-shard partial results
+//! exactly:
+//!
+//! * selection bitmaps concatenate in shard order;
+//! * `COUNT`/`SUM` add, `AVG` divides the merged sum by the merged count,
+//!   `MIN`/`MAX` fold per-shard extrema;
+//! * order statistics (`KthLargest`, `KthSmallest`, `MEDIAN`,
+//!   `PERCENTILE`) run the paper's Routine 4.5 bit descent *globally*:
+//!   the coordinator walks bits MSB-first and each shard answers the
+//!   per-bit `count >= m` occlusion query on its partition, so the
+//!   summed counts equal the single-device counts and Lemma 1 applies
+//!   unchanged.
+//!
+//! The merged result is therefore byte-identical to single-device
+//! execution at every shard count — the property the
+//! `sharded_equivalence` differential suite pins down.
+//!
+//! ## Determinism
+//!
+//! Worker threads run concurrently but all communication is gathered in
+//! shard-index order, every shard device starts its modeled clock at
+//! `t = 0`, and the modeled merge cost ([`merge_cost_ns`]) is a pure
+//! function of the shard and aggregate counts. Results, per-shard
+//! metrics, and modeled costs are reproducible bit-for-bit regardless of
+//! OS scheduling.
+//!
+//! ## Resilience
+//!
+//! Each shard runs the same recovery ladder as
+//! [`crate::resilience::execute_resilient`] for its selection phase
+//! (retry transient faults with modeled backoff, fall back to the CPU
+//! oracle on resource/device faults), and degrades to the CPU for the
+//! remainder of the query if a fault lands mid-aggregate. A fault on one
+//! shard never disturbs the others.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
+
+use crate::aggregate;
+use crate::cpu_oracle::{self, HostTable};
+use crate::error::{EngineError, EngineResult};
+use crate::metrics::{self, MetricsRecord, PhaseNanos};
+use crate::predicate::{comparison_pass, copy_to_depth, OcclusionMode};
+use crate::query::ast::{Aggregate, BoolExpr, Query};
+use crate::query::executor::{
+    execute_selection, plan_operator, AggValue, ExecuteOptions, QueryOutput,
+};
+use crate::query::planner::plan_selection;
+use crate::resilience::{marker_record, ResiliencePath, RetryPolicy};
+use crate::selection::{Selection, SELECTED};
+use crate::table::GpuTable;
+use crate::timing::OpTiming;
+use gpudb_lint::{Linter, Severity};
+use gpudb_obs::{merge_shard_trees, SpanCollector, SpanTree};
+use gpudb_sim::span::SpanKind;
+use gpudb_sim::trace::PassPlan;
+use gpudb_sim::{CompareFunc, FaultClass, FaultInjector, Gpu, Phase, RecordMode, StencilOp};
+
+/// Modeled cost of one merge step, in nanoseconds. The coordinator's
+/// merge work is `shards * (aggregates + 1)` steps: one bitmap-count
+/// combine per shard plus one partial-aggregate combine per shard per
+/// aggregate.
+pub const MERGE_STEP_NS: u64 = 250;
+
+/// Modeled cost of merging `shards` partial results for a query with
+/// `aggregates` aggregate expressions. Pure and deterministic.
+pub fn merge_cost_ns(shards: usize, aggregates: usize) -> u64 {
+    (shards as u64) * (aggregates as u64 + 1) * MERGE_STEP_NS
+}
+
+/// Split `n` records into contiguous row ranges, one per shard. Ranges
+/// are half-open `(start, end)`, cover `0..n` exactly, and differ in
+/// size by at most one chunk. An empty table yields a single empty
+/// shard so the executor always has at least one device.
+pub fn plan_shards(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(shards.max(1)).max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    while start < n.max(1) {
+        let end = (start + chunk).min(n);
+        ranges.push((start, end));
+        if end >= n {
+            break;
+        }
+        start = end;
+    }
+    ranges
+}
+
+/// Knobs for sharded execution.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Number of shards (and devices). Clamped to at least 1.
+    pub shards: usize,
+    /// Texture width of each shard's device (records per row).
+    pub device_width: usize,
+    /// Per-shard execution options (plan validation, tracing, fusion).
+    pub options: ExecuteOptions,
+    /// Per-shard recovery ladder knobs.
+    pub policy: RetryPolicy,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            shards: 4,
+            device_width: 16,
+            options: ExecuteOptions::default(),
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What one shard did: its row range, the path it answered on, and its
+/// recovery and cost ledger.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// First row of the shard's range.
+    pub start: usize,
+    /// Number of records in the shard.
+    pub records: usize,
+    /// Where the shard's answers came from.
+    pub path: ResiliencePath,
+    /// Selection attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Transient retries among those attempts.
+    pub retries: u32,
+    /// Human-readable log of every degradation step taken.
+    pub degradations: Vec<String>,
+    /// The shard device's total modeled time, nanoseconds.
+    pub modeled_ns: u64,
+}
+
+/// The merged cost picture of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Per-shard ledgers, in shard order.
+    pub shards: Vec<ShardRun>,
+    /// Modeled merge cost ([`merge_cost_ns`]).
+    pub merge_ns: u64,
+    /// Modeled end-to-end cost: the slowest shard (critical path) plus
+    /// the merge.
+    pub merged_ns: u64,
+}
+
+/// A sharded query result: the merged output, the concatenated
+/// selection bitmap, and the per-shard report.
+#[derive(Debug, Clone)]
+pub struct ShardedOutput {
+    /// Merged query output, byte-identical to single-device execution.
+    pub output: QueryOutput,
+    /// Per-record selection mask, concatenated in shard order.
+    pub mask: Vec<bool>,
+    /// Per-shard execution report.
+    pub report: ShardReport,
+}
+
+/// Execute `query` over `host`'s data on `opts.shards` simulated devices
+/// and merge the partial results exactly.
+pub fn execute_sharded(
+    host: &HostTable,
+    query: &Query,
+    opts: &ShardOptions,
+) -> EngineResult<ShardedOutput> {
+    execute_sharded_with_faults(host, query, opts, Vec::new())
+}
+
+/// [`execute_sharded`] with a deterministic fault injector attached to
+/// selected shards: `faults[i]` (if present and `Some`) is installed on
+/// shard `i`'s device before execution. Missing entries mean no faults.
+pub fn execute_sharded_with_faults(
+    host: &HostTable,
+    query: &Query,
+    opts: &ShardOptions,
+    mut faults: Vec<Option<FaultInjector>>,
+) -> EngineResult<ShardedOutput> {
+    let n = host.record_count();
+    let ranges = plan_shards(n, opts.shards);
+    faults.resize_with(ranges.len(), || None);
+    let wall_start = Instant::now();
+
+    std::thread::scope(|scope| {
+        let mut links: Vec<Link> = Vec::with_capacity(ranges.len());
+        for (&(start, end), fault) in ranges.iter().zip(faults.drain(..)) {
+            let (req_tx, req_rx) = channel::<Req>();
+            let (resp_tx, resp_rx) = channel::<Resp>();
+            let slice = host.slice(start, end);
+            let filter = query.filter.clone();
+            let options = opts.options;
+            let policy = opts.policy.clone();
+            let width = opts.device_width;
+            scope.spawn(move || {
+                let worker = Worker::new(slice, filter, options, policy, width, fault);
+                worker_main(worker, req_rx, resp_tx);
+            });
+            links.push((req_tx, resp_rx));
+        }
+        coordinate(host, query, &ranges, links, wall_start)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Coordinator <-> worker protocol
+// ---------------------------------------------------------------------
+
+/// A request from the coordinator to one shard worker.
+#[derive(Debug, Clone)]
+enum Req {
+    /// Open an aggregate window (span + metrics). No response.
+    BeginAgg {
+        label: String,
+        /// Merged matched count, recorded as the aggregate's input size.
+        input: u64,
+    },
+    /// Close the aggregate window; responds `Ack` (lint result).
+    EndAgg,
+    /// Partial sum of a column over the shard's selection.
+    Sum(usize),
+    /// Partial MIN/MAX of a column over the shard's selection.
+    Extremum { column: usize, is_min: bool },
+    /// Copy a column to depth in preparation for a global bit descent.
+    BeginDescent(usize),
+    /// One descent step: count selected records with value `>= m`.
+    CountGe(u32),
+    /// Tear down and return the shard's ledger.
+    Finish,
+}
+
+/// A response from a shard worker.
+enum Resp {
+    /// Selection finished (or failed): matched count and mask.
+    Ready(EngineResult<ShardInit>),
+    /// A partial count or sum.
+    Value(EngineResult<u64>),
+    /// A partial extremum; `None` when the shard selected no records.
+    Extremum(EngineResult<Option<u32>>),
+    /// Acknowledgement for `BeginDescent` / `EndAgg`.
+    Ack(EngineResult<()>),
+    /// The shard's final ledger.
+    Done(Box<ShardDone>),
+}
+
+/// Phase-1 result: the shard's selection outcome.
+struct ShardInit {
+    matched: u64,
+    mask: Vec<bool>,
+}
+
+/// Everything a worker reports when finishing.
+struct ShardDone {
+    path: ResiliencePath,
+    attempts: u32,
+    retries: u32,
+    degradations: Vec<String>,
+    metrics: Vec<MetricsRecord>,
+    timing: OpTiming,
+    modeled_ns: u64,
+    trace: Option<SpanTree>,
+}
+
+type Link = (Sender<Req>, Receiver<Resp>);
+
+fn disconnected() -> EngineError {
+    EngineError::InvalidQuery("shard worker disconnected".into())
+}
+
+fn protocol_error() -> EngineError {
+    EngineError::InvalidQuery("unexpected shard response".into())
+}
+
+fn recv(rx: &Receiver<Resp>) -> EngineResult<Resp> {
+    rx.recv().map_err(|_| disconnected())
+}
+
+fn broadcast(links: &[Link], req: &Req) -> EngineResult<()> {
+    for (tx, _) in links {
+        tx.send(req.clone()).map_err(|_| disconnected())?;
+    }
+    Ok(())
+}
+
+/// Broadcast a request and sum the per-shard `Value` responses in shard
+/// order.
+fn gather_sum(links: &[Link], req: Req) -> EngineResult<u64> {
+    broadcast(links, &req)?;
+    let mut total = 0u64;
+    for (_, rx) in links {
+        match recv(rx)? {
+            Resp::Value(v) => total += v?,
+            _ => return Err(protocol_error()),
+        }
+    }
+    Ok(total)
+}
+
+/// Broadcast a request and gather per-shard `Ack` responses.
+fn gather_acks(links: &[Link], req: Req) -> EngineResult<()> {
+    broadcast(links, &req)?;
+    for (_, rx) in links {
+        match recv(rx)? {
+            Resp::Ack(r) => r?,
+            _ => return Err(protocol_error()),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+fn coordinate(
+    host: &HostTable,
+    query: &Query,
+    ranges: &[(usize, usize)],
+    links: Vec<Link>,
+    wall_start: Instant,
+) -> EngineResult<ShardedOutput> {
+    let n = host.record_count();
+
+    // Phase 1: every shard plans and executes its own selection; gather
+    // outcomes in shard order so errors surface deterministically.
+    let mut matched_total = 0u64;
+    let mut mask = Vec::with_capacity(n);
+    for (_, rx) in &links {
+        match recv(rx)? {
+            Resp::Ready(init) => {
+                let init = init?;
+                matched_total += init.matched;
+                mask.extend_from_slice(&init.mask);
+            }
+            _ => return Err(protocol_error()),
+        }
+    }
+
+    // Phase 2: aggregates, strictly in SELECT order — validation errors
+    // (unknown column, invalid k, empty input) surface in exactly the
+    // order single-device execution reports them.
+    let mut rows = Vec::with_capacity(query.aggregates.len());
+    for agg in &query.aggregates {
+        let label = agg.label();
+        broadcast(
+            &links,
+            &Req::BeginAgg {
+                label: label.clone(),
+                input: matched_total,
+            },
+        )?;
+        let value = merge_aggregate(host, agg, matched_total, &links)?;
+        gather_acks(&links, Req::EndAgg)?;
+        rows.push((label, value));
+    }
+
+    // Finish: collect per-shard ledgers, again in shard order.
+    broadcast(&links, &Req::Finish)?;
+    let mut all_metrics: Vec<MetricsRecord> = Vec::new();
+    let mut timing = OpTiming::default();
+    let mut shards = Vec::with_capacity(links.len());
+    let mut traces = Vec::new();
+    for ((_, rx), &(start, end)) in links.iter().zip(ranges) {
+        let done = match recv(rx)? {
+            Resp::Done(d) => *d,
+            _ => return Err(protocol_error()),
+        };
+        all_metrics.extend(done.metrics);
+        timing = timing.plus(&done.timing);
+        if let Some(tree) = done.trace {
+            traces.push(tree);
+        }
+        shards.push(ShardRun {
+            start,
+            records: end - start,
+            path: done.path,
+            attempts: done.attempts,
+            retries: done.retries,
+            degradations: done.degradations,
+            modeled_ns: done.modeled_ns,
+        });
+    }
+    all_metrics.push(marker_record("parallel/merge", n as u64));
+
+    let merge_ns = merge_cost_ns(shards.len(), query.aggregates.len());
+    let merged_ns = shards.iter().map(|s| s.modeled_ns).max().unwrap_or(0) + merge_ns;
+    timing.wall = wall_start.elapsed().as_secs_f64();
+    let trace = if traces.is_empty() {
+        None
+    } else {
+        Some(merge_shard_trees(traces))
+    };
+    let selectivity = if n == 0 {
+        0.0
+    } else {
+        matched_total as f64 / n as f64
+    };
+    Ok(ShardedOutput {
+        output: QueryOutput {
+            matched: matched_total,
+            selectivity,
+            rows,
+            timing,
+            metrics: all_metrics,
+            trace,
+        },
+        mask,
+        report: ShardReport {
+            shards,
+            merge_ns,
+            merged_ns,
+        },
+    })
+}
+
+/// Validate and compute one aggregate from per-shard partials, matching
+/// single-device semantics (and error ordering) exactly.
+fn merge_aggregate(
+    host: &HostTable,
+    agg: &Aggregate,
+    matched: u64,
+    links: &[Link],
+) -> EngineResult<AggValue> {
+    Ok(match agg {
+        Aggregate::Count => AggValue::Count(matched),
+        Aggregate::Sum(col) => {
+            let idx = host.column_index(col)?;
+            AggValue::Sum(gather_sum(links, Req::Sum(idx))?)
+        }
+        Aggregate::Avg(col) => {
+            let idx = host.column_index(col)?;
+            if matched == 0 {
+                return Err(EngineError::EmptyInput);
+            }
+            AggValue::Avg(gather_sum(links, Req::Sum(idx))? as f64 / matched as f64)
+        }
+        Aggregate::Min(col) | Aggregate::Max(col) => {
+            let idx = host.column_index(col)?;
+            if matched == 0 {
+                return Err(EngineError::InvalidK { k: 1, available: 0 });
+            }
+            let is_min = matches!(agg, Aggregate::Min(_));
+            broadcast(
+                links,
+                &Req::Extremum {
+                    column: idx,
+                    is_min,
+                },
+            )?;
+            let mut best: Option<u32> = None;
+            for (_, rx) in links {
+                let partial = match recv(rx)? {
+                    Resp::Extremum(v) => v?,
+                    _ => return Err(protocol_error()),
+                };
+                best = match (best, partial) {
+                    (Some(a), Some(b)) => Some(if is_min { a.min(b) } else { a.max(b) }),
+                    (a, b) => a.or(b),
+                };
+            }
+            AggValue::Value(best.ok_or(EngineError::InvalidK {
+                k: 1,
+                available: matched,
+            })?)
+        }
+        Aggregate::KthLargest(col, k) => {
+            let idx = host.column_index(col)?;
+            if *k == 0 || *k as u64 > matched {
+                return Err(EngineError::InvalidK {
+                    k: *k,
+                    available: matched,
+                });
+            }
+            AggValue::Value(descend(host, links, idx, *k)?)
+        }
+        Aggregate::KthSmallest(col, k) => {
+            let idx = host.column_index(col)?;
+            if *k == 0 || *k as u64 > matched {
+                return Err(EngineError::InvalidK {
+                    k: *k,
+                    available: matched,
+                });
+            }
+            AggValue::Value(descend(host, links, idx, matched as usize + 1 - k)?)
+        }
+        Aggregate::Median(col) => {
+            let idx = host.column_index(col)?;
+            if matched == 0 {
+                return Err(EngineError::EmptyInput);
+            }
+            let rank = (matched as usize).div_ceil(2);
+            AggValue::Value(descend(host, links, idx, matched as usize + 1 - rank)?)
+        }
+        Aggregate::Percentile(col, p) => {
+            let idx = host.column_index(col)?;
+            if matched == 0 {
+                return Err(EngineError::EmptyInput);
+            }
+            let rank =
+                ((p.clamp(0.0, 1.0) * matched as f64).ceil() as usize).clamp(1, matched as usize);
+            AggValue::Value(descend(host, links, idx, matched as usize + 1 - rank)?)
+        }
+    })
+}
+
+/// The global bit descent of Routine 4.5, distributed: the coordinator
+/// fixes one bit of the answer per round; every shard contributes its
+/// partial `count >= m` from its own comparison pass, and the counts
+/// add because the shards partition the records.
+///
+/// The bit width is derived from the full column's maximum — the same
+/// `32 - leading_zeros(max)` that [`crate::table::ColumnMeta`] stores —
+/// so the descent runs the identical bit sequence as one device would.
+fn descend(host: &HostTable, links: &[Link], column: usize, k: usize) -> EngineResult<u32> {
+    gather_acks(links, Req::BeginDescent(column))?;
+    let max = host
+        .column_values(column)?
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let bits = 32 - max.leading_zeros();
+    let mut x = 0u32;
+    for i in (0..bits).rev() {
+        let m = x + (1 << i);
+        let count = gather_sum(links, Req::CountGe(m))?;
+        if count > (k - 1) as u64 {
+            x = m;
+        }
+    }
+    Ok(x)
+}
+
+// ---------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------
+
+/// Where a shard's aggregate answers come from after phase 1.
+enum Backend {
+    /// Data lives on the shard device; `selection` masks the aggregates.
+    Gpu {
+        table: GpuTable,
+        selection: Option<Selection>,
+    },
+    /// The shard degraded: answers come from the host slice + mask.
+    Cpu,
+}
+
+/// An open aggregate measurement window (counter snapshot at BeginAgg).
+struct AggWindow {
+    label: String,
+    input: u64,
+    counters: gpudb_sim::WorkCounters,
+    modeled: gpudb_sim::PhaseTimes,
+}
+
+struct Worker {
+    gpu: Gpu,
+    slice: HostTable,
+    filter: Option<BoolExpr>,
+    fuse: bool,
+    validate: bool,
+    policy: RetryPolicy,
+    backend: Backend,
+    mask: Vec<bool>,
+    matched: u64,
+    descent_column: Option<usize>,
+    path: ResiliencePath,
+    attempts: u32,
+    retries: u32,
+    degradations: Vec<String>,
+    metrics: Vec<MetricsRecord>,
+    window: Option<AggWindow>,
+}
+
+fn worker_main(mut worker: Worker, reqs: Receiver<Req>, resps: Sender<Resp>) {
+    let init = worker.run_selection();
+    let failed = init.is_err();
+    let _ = resps.send(Resp::Ready(init));
+    if failed {
+        // The coordinator aborts on a failed shard; nothing more to serve.
+        return;
+    }
+    while let Ok(req) = reqs.recv() {
+        match req {
+            Req::BeginAgg { label, input } => worker.begin_agg(label, input),
+            Req::EndAgg => {
+                let r = worker.end_agg();
+                let _ = resps.send(Resp::Ack(r));
+            }
+            Req::Sum(column) => {
+                let r = worker.op_sum(column);
+                let _ = resps.send(Resp::Value(r));
+            }
+            Req::Extremum { column, is_min } => {
+                let r = worker.op_extremum(column, is_min);
+                let _ = resps.send(Resp::Extremum(r));
+            }
+            Req::BeginDescent(column) => {
+                let r = worker.op_begin_descent(column);
+                let _ = resps.send(Resp::Ack(r));
+            }
+            Req::CountGe(m) => {
+                let r = worker.op_count_ge(m);
+                let _ = resps.send(Resp::Value(r));
+            }
+            Req::Finish => {
+                let _ = resps.send(Resp::Done(Box::new(worker.finish())));
+                return;
+            }
+        }
+    }
+}
+
+/// Restrict a descent comparison pass to the shard's selection — the
+/// read-only stencil mask of Routine 4.5.
+fn arm_mask(gpu: &mut Gpu, masked: bool) {
+    if masked {
+        gpu.set_stencil_func(true, CompareFunc::Equal, SELECTED, 0xFF);
+        gpu.set_stencil_op(StencilOp::Keep, StencilOp::Keep, StencilOp::Keep);
+    } else {
+        gpu.set_stencil_func(false, CompareFunc::Always, 0, 0xFF);
+    }
+}
+
+/// Lint recorded plans; the first error-severity diagnostic fails the
+/// shard with [`EngineError::PlanValidation`].
+fn lint_plans(plans: &[PassPlan]) -> EngineResult<()> {
+    let linter = Linter::new();
+    for plan in plans {
+        let errors: Vec<String> = linter
+            .lint(plan)
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(ToString::to_string)
+            .collect();
+        if !errors.is_empty() {
+            return Err(EngineError::PlanValidation {
+                operator: plan.label.clone(),
+                diagnostics: errors,
+            });
+        }
+    }
+    Ok(())
+}
+
+impl Worker {
+    fn new(
+        slice: HostTable,
+        filter: Option<BoolExpr>,
+        options: ExecuteOptions,
+        policy: RetryPolicy,
+        width: usize,
+        fault: Option<FaultInjector>,
+    ) -> Worker {
+        let mut gpu = GpuTable::device_for(slice.record_count(), width);
+        if let Some(injector) = fault {
+            gpu.attach_fault_injector(injector);
+        }
+        if let Some(level) = options.trace {
+            gpu.attach_span_sink(Box::new(SpanCollector::new(level)));
+        }
+        Worker {
+            gpu,
+            slice,
+            filter,
+            fuse: options.fuse_passes,
+            validate: options.validate_plans,
+            policy,
+            backend: Backend::Cpu,
+            mask: Vec::new(),
+            matched: 0,
+            descent_column: None,
+            path: ResiliencePath::Gpu,
+            attempts: 0,
+            retries: 0,
+            degradations: Vec::new(),
+            metrics: Vec::new(),
+            window: None,
+        }
+    }
+
+    /// Drop any recorded plans and stop recording — run after a failed
+    /// attempt or a mid-aggregate degradation, where a half-executed
+    /// routine may have left unpaired occlusion ops that would trip the
+    /// linter spuriously.
+    fn drop_recording(&mut self) {
+        if self.gpu.is_recording() {
+            let _ = self.gpu.take_plans();
+            self.gpu.disable_tracing();
+        }
+    }
+
+    /// The selection recovery ladder, mirroring
+    /// [`crate::resilience::execute_resilient`]: retry transients with
+    /// modeled backoff, fall back to the CPU oracle on resource/device
+    /// faults or retry exhaustion (when the policy allows), surface
+    /// logic errors untouched.
+    fn run_selection(&mut self) -> EngineResult<ShardInit> {
+        let max_attempts = self.policy.max_attempts.max(1);
+        loop {
+            self.attempts += 1;
+            let error = match self.selection_attempt() {
+                Ok(()) => {
+                    return Ok(ShardInit {
+                        matched: self.matched,
+                        mask: self.mask.clone(),
+                    })
+                }
+                Err(e) => e,
+            };
+            self.drop_recording();
+            match error.fault_class() {
+                FaultClass::Logic => return Err(error),
+                FaultClass::Transient if self.attempts < max_attempts => {
+                    self.retries += 1;
+                    let pause = self.policy.base_backoff_s
+                        * self
+                            .policy
+                            .multiplier
+                            .powi(self.retries.saturating_sub(1) as i32);
+                    let records = self.slice.record_count() as u64;
+                    let ((), record) = metrics::observe(
+                        &mut self.gpu,
+                        "resilience/retry-backoff",
+                        records,
+                        |gpu| gpu.charge_backoff(pause),
+                    );
+                    self.metrics.push(record);
+                    self.degradations.push(format!(
+                        "transient fault ({error}); retry {} after {pause:.6}s modeled backoff",
+                        self.retries
+                    ));
+                }
+                FaultClass::Transient => {
+                    let exhausted = EngineError::RetriesExhausted {
+                        attempts: self.attempts,
+                        last: Box::new(error),
+                    };
+                    if !self.policy.cpu_fallback {
+                        return Err(exhausted);
+                    }
+                    self.degradations
+                        .push(format!("{exhausted}; shard answering on the CPU"));
+                    return self.cpu_fallback();
+                }
+                class => {
+                    if !self.policy.cpu_fallback {
+                        return Err(error);
+                    }
+                    let kind = if class == FaultClass::Resource {
+                        "resource"
+                    } else {
+                        "device"
+                    };
+                    self.degradations.push(format!(
+                        "{kind} fault ({error}); shard answering on the CPU"
+                    ));
+                    return self.cpu_fallback();
+                }
+            }
+        }
+    }
+
+    /// One selection attempt: upload the slice, plan, execute (fused by
+    /// default), lint the recorded plan when validating, and read back
+    /// the per-record mask. On success the uploaded table and selection
+    /// stay resident for the aggregate phase.
+    fn selection_attempt(&mut self) -> EngineResult<()> {
+        let table = self.slice.upload(&mut self.gpu)?;
+        match self.selection_on(&table) {
+            Ok((selection, matched, mask, record)) => {
+                self.metrics.push(record);
+                self.matched = matched;
+                self.mask = mask;
+                self.backend = Backend::Gpu { table, selection };
+                Ok(())
+            }
+            Err(e) => {
+                // Best-effort free: on a reset device this may fail too.
+                let _ = table.free(&mut self.gpu);
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn selection_on(
+        &mut self,
+        table: &GpuTable,
+    ) -> EngineResult<(Option<Selection>, u64, Vec<bool>, MetricsRecord)> {
+        let plan = plan_selection(table, self.filter.as_ref())?;
+        if self.validate {
+            self.gpu.enable_tracing(RecordMode::RecordAndExecute);
+        }
+        self.gpu.span_begin(SpanKind::Stage, "selection");
+        let fuse = self.fuse;
+        let (result, record) = metrics::observe(
+            &mut self.gpu,
+            plan_operator(&plan),
+            table.record_count() as u64,
+            |gpu| execute_selection(gpu, table, &plan, fuse),
+        );
+        self.gpu.span_end();
+        let lint = if self.validate {
+            let plans = self.gpu.take_plans();
+            self.gpu.disable_tracing();
+            lint_plans(&plans)
+        } else {
+            Ok(())
+        };
+        let (selection, matched) = result?;
+        lint?;
+        let mask = match &selection {
+            Some(sel) => sel.read_mask(&mut self.gpu)?,
+            None => vec![true; table.record_count()],
+        };
+        Ok((selection, matched, mask, record))
+    }
+
+    /// Answer the whole shard from the CPU oracle.
+    fn cpu_fallback(&mut self) -> EngineResult<ShardInit> {
+        let bitmap = cpu_oracle::filter_mask(&self.slice, self.filter.as_ref())?;
+        let records = self.slice.record_count();
+        self.mask = (0..records).map(|i| bitmap.get(i)).collect();
+        self.matched = bitmap.count_ones() as u64;
+        self.backend = Backend::Cpu;
+        self.path = ResiliencePath::Cpu;
+        self.metrics
+            .push(marker_record("parallel/shard-cpu", records as u64));
+        Ok(ShardInit {
+            matched: self.matched,
+            mask: self.mask.clone(),
+        })
+    }
+
+    /// Degrade the rest of this shard's query to the CPU, or surface the
+    /// error when it is a logic fault or the policy forbids fallback.
+    fn degrade_or(&mut self, error: EngineError) -> EngineResult<()> {
+        if error.fault_class() == FaultClass::Logic || !self.policy.cpu_fallback {
+            return Err(error);
+        }
+        self.drop_recording();
+        self.degradations.push(format!(
+            "aggregate fault ({error}); shard answering on the CPU"
+        ));
+        self.metrics.push(marker_record(
+            "parallel/shard-cpu",
+            self.slice.record_count() as u64,
+        ));
+        self.path = ResiliencePath::Cpu;
+        self.backend = Backend::Cpu;
+        Ok(())
+    }
+
+    fn begin_agg(&mut self, label: String, input: u64) {
+        self.gpu
+            .span_begin(SpanKind::Stage, &format!("aggregate:{label}"));
+        if self.validate && matches!(self.backend, Backend::Gpu { .. }) {
+            self.gpu.enable_tracing(RecordMode::RecordAndExecute);
+            self.gpu.begin_plan(&format!("agg/{label}"));
+        }
+        self.gpu
+            .span_begin(SpanKind::Operator, &format!("agg/{label}"));
+        self.window = Some(AggWindow {
+            label,
+            input,
+            counters: self.gpu.stats().counters(),
+            modeled: self.gpu.stats().modeled,
+        });
+    }
+
+    fn end_agg(&mut self) -> EngineResult<()> {
+        self.gpu.span_end(); // operator
+        let lint = if self.gpu.is_recording() {
+            let plans = self.gpu.take_plans();
+            self.gpu.disable_tracing();
+            lint_plans(&plans)
+        } else {
+            Ok(())
+        };
+        if let Some(window) = self.window.take() {
+            let counters = self.gpu.stats().counters().since(&window.counters);
+            let modeled = self.gpu.stats().modeled.since(&window.modeled);
+            self.metrics.push(MetricsRecord {
+                operator: format!("agg/{}", window.label),
+                input_records: window.input,
+                counters,
+                modeled_ns: PhaseNanos::from_phases(&modeled),
+            });
+        }
+        self.gpu.span_end(); // stage
+        self.gpu.reset_state();
+        lint
+    }
+
+    fn op_sum(&mut self, column: usize) -> EngineResult<u64> {
+        if self.matched == 0 {
+            return Ok(0);
+        }
+        let gpu_result = match &self.backend {
+            Backend::Gpu { table, selection } => Some(aggregate::sum(
+                &mut self.gpu,
+                table,
+                column,
+                selection.as_ref(),
+            )),
+            Backend::Cpu => None,
+        };
+        match gpu_result {
+            Some(Ok(v)) => return Ok(v),
+            Some(Err(e)) => self.degrade_or(e)?,
+            None => {}
+        }
+        let values = self.slice.column_values(column)?;
+        Ok(values
+            .iter()
+            .zip(&self.mask)
+            .filter(|&(_, &selected)| selected)
+            .map(|(&v, _)| v as u64)
+            .sum())
+    }
+
+    fn op_extremum(&mut self, column: usize, is_min: bool) -> EngineResult<Option<u32>> {
+        if self.matched == 0 {
+            return Ok(None);
+        }
+        let gpu_result = match &self.backend {
+            Backend::Gpu { table, selection } => Some(if is_min {
+                aggregate::min(&mut self.gpu, table, column, selection.as_ref())
+            } else {
+                aggregate::max(&mut self.gpu, table, column, selection.as_ref())
+            }),
+            Backend::Cpu => None,
+        };
+        match gpu_result {
+            Some(Ok(v)) => return Ok(Some(v)),
+            Some(Err(e)) => self.degrade_or(e)?,
+            None => {}
+        }
+        let values = self.slice.column_values(column)?;
+        let selected = values
+            .iter()
+            .zip(&self.mask)
+            .filter(|&(_, &selected)| selected)
+            .map(|(&v, _)| v);
+        Ok(if is_min {
+            selected.min()
+        } else {
+            selected.max()
+        })
+    }
+
+    fn op_begin_descent(&mut self, column: usize) -> EngineResult<()> {
+        self.descent_column = Some(column);
+        if self.matched == 0 {
+            // An all-filtered shard contributes zero to every count; the
+            // copy-to-depth would be dead work.
+            return Ok(());
+        }
+        let gpu_result = match &self.backend {
+            Backend::Gpu { table, .. } => Some(copy_to_depth(&mut self.gpu, table, column)),
+            Backend::Cpu => None,
+        };
+        match gpu_result {
+            Some(Ok(())) | None => Ok(()),
+            Some(Err(e)) => self.degrade_or(e),
+        }
+    }
+
+    fn op_count_ge(&mut self, m: u32) -> EngineResult<u64> {
+        if self.matched == 0 {
+            return Ok(0);
+        }
+        let gpu_result = match &self.backend {
+            Backend::Gpu { table, selection } => {
+                self.gpu.set_phase(Phase::Compute);
+                arm_mask(&mut self.gpu, selection.is_some());
+                Some(comparison_pass(
+                    &mut self.gpu,
+                    table,
+                    CompareFunc::GreaterEqual,
+                    m,
+                    OcclusionMode::Sync,
+                ))
+            }
+            Backend::Cpu => None,
+        };
+        match gpu_result {
+            Some(Ok(count)) => return Ok(count),
+            Some(Err(e)) => self.degrade_or(e)?,
+            None => {}
+        }
+        let column = self
+            .descent_column
+            .ok_or_else(|| EngineError::InvalidQuery("descent step before BeginDescent".into()))?;
+        let values = self.slice.column_values(column)?;
+        Ok(values
+            .iter()
+            .zip(&self.mask)
+            .filter(|&(&v, &selected)| selected && v >= m)
+            .count() as u64)
+    }
+
+    fn finish(mut self) -> ShardDone {
+        let trace = self
+            .gpu
+            .take_span_sink()
+            .and_then(SpanCollector::recover)
+            .map(SpanCollector::finish);
+        let modeled = self.gpu.stats().modeled;
+        ShardDone {
+            path: self.path,
+            attempts: self.attempts,
+            retries: self.retries,
+            degradations: self.degradations,
+            metrics: self.metrics,
+            timing: OpTiming::from_phases(&modeled, 0.0),
+            modeled_ns: (modeled.total().max(0.0) * 1e9).round() as u64,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpudb_sim::{FaultEvent, FaultKind};
+
+    fn host_table(records: usize) -> HostTable {
+        let a: Vec<u32> = (0..records as u32).map(|i| (i * 37 + 11) % 2000).collect();
+        let b: Vec<u32> = (0..records as u32).map(|i| (i * 101 + 7) % 500).collect();
+        HostTable::new("t", vec![("a", a), ("b", b)]).expect("host table")
+    }
+
+    fn full_query() -> Query {
+        Query {
+            aggregates: vec![
+                Aggregate::Count,
+                Aggregate::Sum("a".into()),
+                Aggregate::Avg("b".into()),
+                Aggregate::Min("a".into()),
+                Aggregate::Max("b".into()),
+                Aggregate::Median("a".into()),
+                Aggregate::KthLargest("b".into(), 3),
+            ],
+            filter: Some(BoolExpr::pred("a", CompareFunc::Greater, 700)),
+        }
+    }
+
+    fn single_device(host: &HostTable, query: &Query) -> QueryOutput {
+        let mut gpu = GpuTable::device_for(host.record_count(), 16);
+        let table = host.upload(&mut gpu).expect("upload");
+        crate::query::executor::execute(&mut gpu, &table, query).expect("single-device execute")
+    }
+
+    #[test]
+    fn plan_shards_covers_and_balances() {
+        assert_eq!(plan_shards(0, 4), vec![(0, 0)]);
+        assert_eq!(plan_shards(10, 1), vec![(0, 10)]);
+        assert_eq!(plan_shards(10, 3), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(plan_shards(3, 8), vec![(0, 1), (1, 2), (2, 3)]);
+        // Always a partition of 0..n.
+        for n in [0usize, 1, 7, 100] {
+            for shards in [1usize, 2, 3, 7, 16] {
+                let ranges = plan_shards(n, shards);
+                let mut cursor = 0;
+                for &(start, end) in &ranges {
+                    assert_eq!(start, cursor);
+                    assert!(end >= start);
+                    cursor = end;
+                }
+                assert_eq!(cursor, n);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_device_at_every_shard_count() {
+        let host = host_table(137);
+        let query = full_query();
+        let reference = single_device(&host, &query);
+        for shards in [1usize, 2, 3, 5, 16] {
+            let opts = ShardOptions {
+                shards,
+                ..ShardOptions::default()
+            };
+            let out = execute_sharded(&host, &query, &opts).expect("sharded execute");
+            assert_eq!(out.output.matched, reference.matched, "shards={shards}");
+            assert_eq!(out.output.rows, reference.rows, "shards={shards}");
+            assert_eq!(out.mask.len(), host.record_count());
+            assert_eq!(out.report.shards.len(), plan_shards(137, shards).len());
+        }
+    }
+
+    #[test]
+    fn merged_cost_is_critical_path_plus_merge() {
+        let host = host_table(64);
+        let query = full_query();
+        let opts = ShardOptions {
+            shards: 4,
+            ..ShardOptions::default()
+        };
+        let out = execute_sharded(&host, &query, &opts).expect("sharded execute");
+        let slowest = out
+            .report
+            .shards
+            .iter()
+            .map(|s| s.modeled_ns)
+            .max()
+            .unwrap_or(0);
+        assert!(slowest > 0);
+        assert_eq!(
+            out.report.merge_ns,
+            merge_cost_ns(4, query.aggregates.len())
+        );
+        assert_eq!(out.report.merged_ns, slowest + out.report.merge_ns);
+    }
+
+    #[test]
+    fn aggregate_errors_surface_in_select_order() {
+        let host = host_table(32);
+        // KthLargest with k=0 comes first: its InvalidK must win over the
+        // later unknown column, exactly as single-device execution orders
+        // them.
+        let query = Query {
+            aggregates: vec![
+                Aggregate::KthLargest("a".into(), 0),
+                Aggregate::Sum("nope".into()),
+            ],
+            filter: None,
+        };
+        let err = execute_sharded(&host, &query, &ShardOptions::default())
+            .expect_err("invalid k must fail");
+        assert!(matches!(err, EngineError::InvalidK { k: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn single_shard_fault_degrades_only_that_shard() {
+        let host = host_table(96);
+        let query = full_query();
+        let opts = ShardOptions {
+            shards: 3,
+            ..ShardOptions::default()
+        };
+        let reference = execute_sharded(&host, &query, &opts).expect("clean run");
+        // Reset shard 1's device at t=0: it degrades to the CPU; the
+        // others stay on the GPU and the merged answer is unchanged.
+        let faults = vec![
+            None,
+            Some(FaultInjector::with_schedule(vec![FaultEvent {
+                at_ns: 0,
+                kind: FaultKind::DeviceReset,
+            }])),
+            None,
+        ];
+        let out = execute_sharded_with_faults(&host, &query, &opts, faults).expect("faulted run");
+        assert_eq!(out.output.rows, reference.output.rows);
+        assert_eq!(out.mask, reference.mask);
+        assert_eq!(out.report.shards[0].path, ResiliencePath::Gpu);
+        assert_eq!(out.report.shards[1].path, ResiliencePath::Cpu);
+        assert_eq!(out.report.shards[2].path, ResiliencePath::Gpu);
+        assert!(!out.report.shards[1].degradations.is_empty());
+        assert!(out.report.shards[0].degradations.is_empty());
+    }
+
+    #[test]
+    fn empty_table_executes_and_counts_zero() {
+        let host = HostTable::new("t", vec![("a", Vec::new())]).expect("empty table");
+        let query = Query {
+            aggregates: vec![Aggregate::Count],
+            filter: None,
+        };
+        let out = execute_sharded(&host, &query, &ShardOptions::default()).expect("empty run");
+        assert_eq!(out.output.matched, 0);
+        assert!(out.mask.is_empty());
+        assert_eq!(
+            out.output.rows,
+            vec![("COUNT(*)".to_string(), AggValue::Count(0))]
+        );
+    }
+
+    #[test]
+    fn validate_and_trace_modes_hold_result_parity() {
+        let host = host_table(80);
+        let query = full_query();
+        let reference = single_device(&host, &query);
+        let opts = ShardOptions {
+            shards: 3,
+            options: ExecuteOptions {
+                validate_plans: true,
+                trace: Some(gpudb_obs::TraceLevel::Operators),
+                ..ExecuteOptions::default()
+            },
+            ..ShardOptions::default()
+        };
+        let out = execute_sharded(&host, &query, &opts).expect("validated traced run");
+        assert_eq!(out.output.rows, reference.rows);
+        let trace = out.output.trace.expect("merged trace");
+        assert_eq!(trace.roots.len(), 1);
+        assert_eq!(trace.roots[0].children.len(), 3);
+        assert_eq!(trace.roots[0].children[0].name, "shard-0");
+    }
+}

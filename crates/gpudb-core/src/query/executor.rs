@@ -1,7 +1,7 @@
 //! Query execution: run a plan against a table on the device.
 
 use crate::aggregate;
-use crate::boolean::{eval_cnf_select, eval_dnf_select};
+use crate::boolean::{eval_cnf_select, eval_cnf_select_unfused, eval_dnf_select};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::{self, MetricsRecord};
 use crate::query::ast::{Aggregate, Query};
@@ -50,11 +50,13 @@ pub struct QueryOutput {
 }
 
 /// Execute the selection plan, returning the selection (None = all
-/// records) and the match count.
-fn execute_selection(
+/// records) and the match count. `fuse_passes` picks the fused or
+/// literal-paper CNF protocol (identical results either way).
+pub(crate) fn execute_selection(
     gpu: &mut Gpu,
     table: &GpuTable,
     plan: &SelectionPlan,
+    fuse_passes: bool,
 ) -> EngineResult<(Option<Selection>, u64)> {
     match plan {
         SelectionPlan::All => Ok((None, table.record_count() as u64)),
@@ -63,7 +65,11 @@ fn execute_selection(
             Ok((Some(sel), count))
         }
         SelectionPlan::Cnf(cnf) => {
-            let (sel, count) = eval_cnf_select(gpu, table, cnf)?;
+            let (sel, count) = if fuse_passes {
+                eval_cnf_select(gpu, table, cnf)?
+            } else {
+                eval_cnf_select_unfused(gpu, table, cnf)?
+            };
             Ok((Some(sel), count))
         }
         SelectionPlan::Dnf(dnf) => {
@@ -82,7 +88,7 @@ fn execute_selection(
 }
 
 /// Short operator tag for a selection plan, used in metrics records.
-fn plan_operator(plan: &SelectionPlan) -> &'static str {
+pub(crate) fn plan_operator(plan: &SelectionPlan) -> &'static str {
     match plan {
         SelectionPlan::All => "filter/all",
         SelectionPlan::Range { .. } => "filter/range",
@@ -107,16 +113,24 @@ pub struct ExecuteOptions {
     /// cost-transparent: results, counters and modeled times are
     /// identical with or without it.
     pub trace: Option<TraceLevel>,
+    /// Run selections with the pass-fusion optimizer (default): adjacent
+    /// CNF passes over the same column share one `Compare` depth copy,
+    /// and the opening stencil clear is folded into the first predicate
+    /// pass. Fusion only removes passes — results are bit-identical to
+    /// the literal paper protocols; set to `false` for the unfused
+    /// baseline (ablation benchmarks, differential tests).
+    pub fuse_passes: bool,
 }
 
 impl Default for ExecuteOptions {
     /// Validate in debug builds, skip in release (opt back in by
     /// setting [`ExecuteOptions::validate_plans`] explicitly); no span
-    /// tracing.
+    /// tracing; pass fusion on.
     fn default() -> ExecuteOptions {
         ExecuteOptions {
             validate_plans: cfg!(debug_assertions),
             trace: None,
+            fuse_passes: true,
         }
     }
 }
@@ -165,7 +179,7 @@ fn execute_validated(
     options: ExecuteOptions,
 ) -> EngineResult<QueryOutput> {
     if !options.validate_plans {
-        return execute_inner(gpu, table, query);
+        return execute_inner(gpu, table, query, options);
     }
     // If the caller is already tracing (e.g. a lint harness), piggyback
     // on its recorder and leave the collected plans to it.
@@ -173,7 +187,7 @@ fn execute_validated(
     if owns_recorder {
         gpu.enable_tracing(RecordMode::RecordAndExecute);
     }
-    let result = execute_inner(gpu, table, query);
+    let result = execute_inner(gpu, table, query, options);
     if !owns_recorder {
         return result;
     }
@@ -200,7 +214,12 @@ fn execute_validated(
 
 /// The untraced execution path shared by [`execute`] and
 /// [`execute_with_options`].
-fn execute_inner(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<QueryOutput> {
+fn execute_inner(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    query: &Query,
+    options: ExecuteOptions,
+) -> EngineResult<QueryOutput> {
     let plan = plan_selection(table, query.filter.as_ref())?;
     let total_records = table.record_count() as u64;
     let mut records: Vec<MetricsRecord> = Vec::with_capacity(1 + query.aggregates.len());
@@ -209,7 +228,7 @@ fn execute_inner(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult
         gpu.span_begin(SpanKind::Stage, "selection");
         let (sel_result, sel_record) =
             metrics::observe(gpu, plan_operator(&plan), total_records, |gpu| {
-                execute_selection(gpu, table, &plan)
+                execute_selection(gpu, table, &plan, options.fuse_passes)
             });
         gpu.span_end();
         let (selection, matched) = sel_result?;
@@ -360,7 +379,7 @@ pub fn explain_with_device(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> En
     }
     gpu.enable_tracing(RecordMode::RecordOnly);
     gpu.begin_plan(plan_operator(&plan));
-    let result = execute_selection(gpu, table, &plan);
+    let result = execute_selection(gpu, table, &plan, ExecuteOptions::default().fuse_passes);
     let plans = gpu.take_plans();
     gpu.disable_tracing();
     result?;
@@ -444,9 +463,22 @@ fn passes_line(operator_span: &Span) -> String {
 /// total modeled time. Every number derives from the deterministic cost
 /// model, so the report is byte-identical across runs.
 pub fn explain_analyze(gpu: &mut Gpu, table: &GpuTable, query: &Query) -> EngineResult<String> {
+    explain_analyze_with_options(gpu, table, query, ExecuteOptions::default())
+}
+
+/// [`explain_analyze`] with explicit [`ExecuteOptions`] — pass tracing
+/// is forced on (the report needs the spans); everything else, notably
+/// [`ExecuteOptions::fuse_passes`], is honored. This is how the golden
+/// snapshot tests render the same query before and after fusion.
+pub fn explain_analyze_with_options(
+    gpu: &mut Gpu,
+    table: &GpuTable,
+    query: &Query,
+    options: ExecuteOptions,
+) -> EngineResult<String> {
     let options = ExecuteOptions {
-        trace: Some(TraceLevel::Passes),
-        ..ExecuteOptions::default()
+        trace: Some(options.trace.unwrap_or(TraceLevel::Passes)),
+        ..options
     };
     let output = execute_with_options(gpu, table, query, options)?;
     let plan = plan_selection(table, query.filter.as_ref())?;
@@ -969,6 +1001,7 @@ mod tests {
             ExecuteOptions {
                 validate_plans: false,
                 trace: Some(TraceLevel::Passes),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1015,6 +1048,7 @@ mod tests {
                 ExecuteOptions {
                     validate_plans: false,
                     trace,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -1052,6 +1086,7 @@ mod tests {
             ExecuteOptions {
                 validate_plans: false,
                 trace: Some(TraceLevel::Passes),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1093,6 +1128,7 @@ mod tests {
             ExecuteOptions {
                 validate_plans: false,
                 trace: Some(TraceLevel::Passes),
+                ..Default::default()
             },
         )
         .unwrap();

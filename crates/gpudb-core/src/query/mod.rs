@@ -14,8 +14,8 @@ pub mod planner;
 
 pub use ast::{Aggregate, BoolExpr, Query};
 pub use executor::{
-    execute, execute_scalar, execute_with_options, explain, explain_analyze, explain_with_device,
-    AggValue, ExecuteOptions, QueryOutput,
+    execute, execute_scalar, execute_with_options, explain, explain_analyze,
+    explain_analyze_with_options, explain_with_device, AggValue, ExecuteOptions, QueryOutput,
 };
 pub use gpudb_obs::TraceLevel;
 pub use parser::{parse, Statement};

@@ -131,7 +131,7 @@ pub fn range_count(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::boolean::{eval_cnf_select, GpuCnf, GpuPredicate};
+    use crate::boolean::{eval_cnf_select, eval_cnf_select_unfused, GpuCnf, GpuPredicate};
     use gpudb_sim::CompareFunc::{GreaterEqual, LessEqual};
 
     fn setup(values: &[u32]) -> (Gpu, GpuTable) {
@@ -203,12 +203,25 @@ mod tests {
             GpuPredicate::new(0, GreaterEqual, 10),
             GpuPredicate::new(0, LessEqual, 90),
         ]);
-        eval_cnf_select(&mut gpu, &t, &cnf).unwrap();
+        eval_cnf_select_unfused(&mut gpu, &t, &cnf).unwrap();
         let cnf_copies = gpu.stats().fragments_shaded;
         let cnf_modeled = gpu.stats().modeled_total();
 
         assert_eq!(range_copies * 2, cnf_copies, "CNF copies the column twice");
         assert!(range_modeled < cnf_modeled);
+
+        // Pass fusion elides the duplicate copy (both predicates read the
+        // same column), but the depth-bounds path still wins on modeled
+        // cost: one quad versus two comparison quads plus the count pass.
+        gpu.reset_stats();
+        eval_cnf_select(&mut gpu, &t, &cnf).unwrap();
+        assert_eq!(
+            gpu.stats().fragments_shaded,
+            range_copies,
+            "fusion copies the column once"
+        );
+        assert!(range_modeled < gpu.stats().modeled_total());
+        assert!(gpu.stats().modeled_total() < cnf_modeled);
     }
 
     #[test]

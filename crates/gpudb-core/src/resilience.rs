@@ -469,7 +469,7 @@ fn cpu_rung(
 /// A metrics record for a step that did no device work: EXPLAIN ANALYZE
 /// still shows the stage (satellite of the same guarantee that
 /// const-empty selections emit a record) with all-zero cost.
-fn marker_record(operator: &str, input_records: u64) -> MetricsRecord {
+pub(crate) fn marker_record(operator: &str, input_records: u64) -> MetricsRecord {
     MetricsRecord {
         operator: operator.to_string(),
         input_records,

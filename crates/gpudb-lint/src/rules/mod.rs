@@ -72,6 +72,29 @@ fn depth_can_fail(pass: &DrawPass) -> bool {
     pass.state.depth.test_enabled && pass.state.depth.func != CompareFunc::Always
 }
 
+/// A full-coverage stencil write mask — required both for L005's value
+/// tracking and for a pass to count as *establishing* stencil contents.
+const FULL_MASK: u8 = 0xFF;
+
+/// Whether a draw **establishes** the stencil contents of every record
+/// pixel it covers: the stencil test always passes, every bit is
+/// writable, and each reachable outcome writes a value *independent of
+/// the previous stencil contents* (`Replace` or `Zero`). The fused
+/// selection protocols open with such a pass instead of a
+/// `ClearStencil` — it defines the buffer just as a clear does, so L005
+/// can seed value tracking from it and L006 treats it as the clear.
+/// (`op_fail` is unreachable under an `Always` stencil test and is not
+/// consulted.)
+fn establishes_stencil(pass: &DrawPass) -> bool {
+    let value_independent = |op: StencilOp| matches!(op, StencilOp::Replace | StencilOp::Zero);
+    let st = &pass.state.stencil;
+    st.enabled
+        && st.func == CompareFunc::Always
+        && st.write_mask == FULL_MASK
+        && value_independent(st.op_zpass)
+        && (!depth_can_fail(pass) || value_independent(st.op_zfail))
+}
+
 /// Build a diagnostic for `rule` anchored at op `index`.
 fn diag(
     rule: &dyn Rule,

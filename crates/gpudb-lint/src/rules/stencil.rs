@@ -1,15 +1,10 @@
 //! Stencil-protocol rules: the {0,1,2} CNF encoding (L005) and
 //! clear-before-write discipline (L006).
 
-use super::{depth_can_fail, diag, stencil_write_possible};
+use super::{depth_can_fail, diag, establishes_stencil, stencil_write_possible, FULL_MASK};
 use crate::{Diagnostic, Rule};
 use gpudb_sim::trace::{PassOp, PassPlan};
 use std::collections::BTreeSet;
-
-/// Stencil write masks must cover all bits for value tracking to be
-/// sound; partial-mask protocols (the DNF bit-plane scheme) are outside
-/// the CNF encoding and exempt from L005.
-const FULL_MASK: u8 = 0xFF;
 
 /// **L005** — stencil values must stay inside the CNF encoding {0, 1, 2}.
 ///
@@ -21,9 +16,13 @@ const FULL_MASK: u8 = 0xFF;
 /// exceeds 2, which means a mismatched reference or a missing cleanup
 /// pass lets markers accumulate and later clauses match garbage.
 ///
-/// Tracking starts at a `ClearStencil` and is abandoned (soundly) when
-/// a pass uses a partial stencil write mask, as the DNF bit-plane
-/// protocol does.
+/// Tracking starts at a `ClearStencil` — or at an *establishing* pass
+/// (stencil test `Always`, full write mask, value-independent write
+/// ops), which the fused selection protocols use in place of the clear:
+/// it writes a definite value to every record pixel, so the set of
+/// values reachable on record pixels is known from its ops alone.
+/// Tracking is abandoned (soundly) when a pass uses a partial stencil
+/// write mask, as the DNF bit-plane protocol does.
 ///
 /// ```
 /// use gpudb_lint::Linter;
@@ -77,6 +76,31 @@ impl Rule for L005StencilEncodingOverflow {
                         continue;
                     }
                     let Some(current) = values.take() else {
+                        // Unknown contents: an establishing pass defines
+                        // every record pixel, so tracking can start here
+                        // just as it would at a clear — but the values it
+                        // establishes must themselves stay in encoding.
+                        if establishes_stencil(pass) {
+                            let mut seeded = BTreeSet::from([st.write(0, st.op_zpass)]);
+                            if depth_can_fail(pass) {
+                                seeded.insert(st.write(0, st.op_zfail));
+                            }
+                            if let Some(&max) = seeded.iter().next_back() {
+                                if max > 2 {
+                                    out.push(diag(
+                                        self,
+                                        i,
+                                        format!(
+                                            "establishing draw writes stencil value {max}, \
+                                             outside the CNF encoding {{0, 1, 2}}"
+                                        ),
+                                        "an establishing first clause must replace with the \
+                                         SELECTED value (1), not an arbitrary reference",
+                                    ));
+                                }
+                            }
+                            values = Some(seeded);
+                        }
                         continue;
                     };
                     let mut next = BTreeSet::new();
@@ -124,7 +148,10 @@ impl Rule for L005StencilEncodingOverflow {
 /// left behind merges two unrelated selections. Read-only consumers —
 /// the `stencil == SELECTED` masks of `KthLargest` §4.5 and Accumulator
 /// §4.6, whose ops are all `Keep` — deliberately reuse the previous
-/// selection and are exempt.
+/// selection and are exempt. So is an *establishing* pass (stencil test
+/// `Always`, full write mask, value-independent write ops): the fused
+/// selection protocols open with one instead of a `ClearStencil`, and it
+/// defines every record pixel just as the clear would.
 ///
 /// ```
 /// use gpudb_lint::Linter;
@@ -162,6 +189,9 @@ impl Rule for L006StencilWriteWithoutClear {
         for (i, op) in plan.ops.iter().enumerate() {
             match op {
                 PassOp::ClearStencil { .. } => cleared = true,
+                // An establishing pass (fused protocols) defines every
+                // record pixel it writes — it *is* the clear.
+                PassOp::Draw(pass) if !cleared && establishes_stencil(pass) => cleared = true,
                 PassOp::Draw(pass) if !cleared && stencil_write_possible(&pass.state.stencil) => {
                     out.push(diag(
                         self,
@@ -287,6 +317,106 @@ mod tests {
         p.ops.push(PassOp::Draw(pass));
         let diags = Linter::new().lint(&p);
         assert!(!diags.iter().any(|d| d.rule == "L006"), "{diags:?}");
+    }
+
+    /// The fused conjunction's opening pass: Always/ref 1, Replace on
+    /// depth-pass, Zero on depth-fail, under a failable depth test.
+    fn establishing_draw(reference: u8) -> DrawPass {
+        let mut pass = stencil_draw(
+            CompareFunc::Always,
+            reference,
+            (StencilOp::Keep, StencilOp::Zero, StencilOp::Replace),
+        );
+        pass.state.depth.test_enabled = true;
+        pass.state.depth.func = CompareFunc::Greater;
+        pass
+    }
+
+    #[test]
+    fn establishing_pass_satisfies_clear_before_write() {
+        // The fused protocols open with an establishing pass and no
+        // ClearStencil: L006 must accept it, and later writes after it.
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(establishing_draw(1)));
+        p.ops.push(PassOp::Draw(stencil_draw(
+            CompareFunc::Equal,
+            1,
+            (StencilOp::Keep, StencilOp::Zero, StencilOp::Keep),
+        )));
+        let diags = Linter::new().lint(&p);
+        assert!(!diags.iter().any(|d| d.rule == "L006"), "{diags:?}");
+    }
+
+    #[test]
+    fn non_establishing_first_write_still_fires_l006() {
+        // Incr depends on the previous value: not establishing.
+        let mut p = plan();
+        let mut pass = stencil_draw(
+            CompareFunc::Always,
+            1,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Incr),
+        );
+        pass.state.depth.test_enabled = true;
+        pass.state.depth.func = CompareFunc::Greater;
+        p.ops.push(PassOp::Draw(pass));
+        assert!(Linter::new().lint(&p).iter().any(|d| d.rule == "L006"));
+
+        // A partial write mask can leave stale bits: not establishing.
+        let mut p = plan();
+        let mut partial = establishing_draw(1);
+        partial.state.stencil.write_mask = 0x0F;
+        p.ops.push(PassOp::Draw(partial));
+        assert!(Linter::new().lint(&p).iter().any(|d| d.rule == "L006"));
+    }
+
+    #[test]
+    fn establishing_pass_seeds_l005_tracking() {
+        // Established {0, 2} (the fused general CNF's first clause),
+        // then an Incr at reference 2 pushes to 3: L005 must catch it
+        // even though no ClearStencil ever ran.
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(establishing_draw(2)));
+        let mut bad = stencil_draw(
+            CompareFunc::Equal,
+            2,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Incr),
+        );
+        bad.state.depth.test_enabled = true;
+        bad.state.depth.func = CompareFunc::Greater;
+        p.ops.push(PassOp::Draw(bad));
+        let l005: Vec<_> = Linter::new()
+            .lint(&p)
+            .into_iter()
+            .filter(|d| d.rule == "L005")
+            .collect();
+        assert_eq!(l005.len(), 1, "{l005:?}");
+        assert_eq!(l005[0].pass_index, Some(1));
+    }
+
+    #[test]
+    fn fused_protocol_shape_is_clean() {
+        // Establish {0, 2}, demote with Decr at 2, cleanup, count: the
+        // fused general CNF's pass sequence stays inside the encoding.
+        let mut p = plan();
+        p.ops.push(PassOp::Draw(establishing_draw(2)));
+        let mut demote = stencil_draw(
+            CompareFunc::Equal,
+            2,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Decr),
+        );
+        demote.state.depth.test_enabled = true;
+        demote.state.depth.func = CompareFunc::Less;
+        p.ops.push(PassOp::Draw(demote));
+        p.ops.push(PassOp::Draw(stencil_draw(
+            CompareFunc::Equal,
+            2,
+            (StencilOp::Keep, StencilOp::Keep, StencilOp::Zero),
+        )));
+        let diags = Linter::new().lint(&p);
+        assert!(
+            !diags.iter().any(|d| d.rule == "L005" || d.rule == "L006"),
+            "{diags:?}"
+        );
     }
 
     #[test]

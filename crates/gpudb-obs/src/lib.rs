@@ -147,6 +147,50 @@ impl SpanTree {
     }
 }
 
+/// Merge the per-shard traces of a sharded query into one tree: a
+/// synthetic `query` root with one `shard-{i}` stage child per shard, in
+/// shard order, each holding that shard's root spans.
+///
+/// Every shard device runs its own modeled clock starting at `t = 0`, so
+/// shard timestamps overlap rather than interleave — which is exactly the
+/// parallel-execution semantics. The root's extent is the slowest shard's
+/// extent (the critical path) and its counters are the sum of all shard
+/// work.
+pub fn merge_shard_trees(shards: Vec<SpanTree>) -> SpanTree {
+    let mut children = Vec::with_capacity(shards.len());
+    let mut counters = WorkCounters::default();
+    let mut end_ns = 0u64;
+    for (i, tree) in shards.into_iter().enumerate() {
+        let shard_end = tree.roots.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        let shard_counters = tree
+            .roots
+            .iter()
+            .fold(WorkCounters::default(), |acc, s| acc.plus(&s.counters));
+        end_ns = end_ns.max(shard_end);
+        counters = counters.plus(&shard_counters);
+        children.push(Span {
+            kind: SpanKind::Stage,
+            name: format!("shard-{i}"),
+            start_ns: 0,
+            end_ns: shard_end,
+            counters: shard_counters,
+            events: Vec::new(),
+            children: tree.roots,
+        });
+    }
+    SpanTree {
+        roots: vec![Span {
+            kind: SpanKind::Query,
+            name: "query".to_string(),
+            start_ns: 0,
+            end_ns,
+            counters,
+            events: Vec::new(),
+            children,
+        }],
+    }
+}
+
 /// How much of the span hierarchy a [`SpanCollector`] keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceLevel {
@@ -301,6 +345,33 @@ mod tests {
             draw_calls: draws,
             ..WorkCounters::default()
         }
+    }
+
+    #[test]
+    fn merge_shard_trees_wraps_shards_under_one_query_root() {
+        let shard = |end: u64, draws: u64| SpanTree {
+            roots: vec![Span {
+                kind: SpanKind::Stage,
+                name: "selection".into(),
+                start_ns: 0,
+                end_ns: end,
+                counters: counters(draws),
+                events: Vec::new(),
+                children: Vec::new(),
+            }],
+        };
+        let merged = merge_shard_trees(vec![shard(100, 2), shard(250, 3)]);
+        assert_eq!(merged.roots.len(), 1);
+        let root = &merged.roots[0];
+        assert_eq!(root.kind, SpanKind::Query);
+        // Critical path: the slowest shard bounds the merged extent.
+        assert_eq!(root.end_ns, 250);
+        assert_eq!(root.counters.draw_calls, 5);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "shard-0");
+        assert_eq!(root.children[1].name, "shard-1");
+        assert_eq!(root.children[1].end_ns, 250);
+        assert_eq!(root.children[0].children[0].name, "selection");
     }
 
     #[test]

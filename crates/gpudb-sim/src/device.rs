@@ -48,6 +48,14 @@ pub struct Gpu {
     fault_injector: Option<FaultInjector>,
 }
 
+// Devices cross thread boundaries in sharded multi-device execution —
+// one worker thread owns each shard's `Gpu`. Keep the device `Send`
+// (the `SpanSink` trait object carries a `Send` bound for this reason).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Gpu>();
+};
+
 impl Gpu {
     /// Create a device with an explicit hardware profile and framebuffer
     /// dimensions.

@@ -54,10 +54,14 @@ pub mod prelude {
     pub use gpudb_core::cpu_oracle::{self, HostTable, OracleOutput};
     pub use gpudb_core::olap;
     pub use gpudb_core::out_of_core::ChunkedTable;
+    pub use gpudb_core::parallel::{
+        execute_sharded, execute_sharded_with_faults, ShardOptions, ShardReport, ShardRun,
+        ShardedOutput,
+    };
     pub use gpudb_core::predicate::{compare_count, compare_many, compare_select};
     pub use gpudb_core::query::{
-        execute, execute_with_options, explain_analyze, parse, Aggregate, BoolExpr, ExecuteOptions,
-        Query, TraceLevel,
+        execute, execute_with_options, explain_analyze, explain_analyze_with_options, parse,
+        Aggregate, BoolExpr, ExecuteOptions, Query, TraceLevel,
     };
     pub use gpudb_core::range::{range_count, range_select};
     pub use gpudb_core::resilience::{

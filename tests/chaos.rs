@@ -14,97 +14,10 @@
 //! seeds replay byte-for-byte, so any failure here is reproducible with
 //! `cargo run -p gpudb-bench --bin chaos -- --seeds <seed>`.
 
+mod common;
+
+use common::{query_shapes, workload};
 use gpudb::prelude::*;
-
-/// SplitMix64, for deterministic workload/query generation independent
-/// of the fault schedule's own PRNG stream.
-struct Mix(u64);
-
-impl Mix {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-const RECORDS: usize = 256;
-
-/// A small three-column workload, deterministic in the seed.
-fn workload(seed: u64) -> HostTable {
-    let mut rng = Mix(seed.wrapping_mul(0xA076_1D64_78BD_642F) | 1);
-    let a: Vec<u32> = (0..RECORDS).map(|_| rng.below(1 << 16) as u32).collect();
-    let b: Vec<u32> = (0..RECORDS).map(|_| rng.below(1 << 12) as u32).collect();
-    let c: Vec<u32> = (0..RECORDS).map(|_| rng.below(97) as u32).collect();
-    HostTable::new("chaos", vec![("a", a), ("b", b), ("c", c)]).expect("valid workload")
-}
-
-/// The six query shapes of the acceptance criteria: simple predicate,
-/// range (sometimes inverted and therefore empty), CNF, semi-linear,
-/// k-th order statistics, and the accumulator aggregates.
-fn query_shapes(seed: u64) -> Vec<Query> {
-    let mut rng = Mix(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) | 1);
-    let cut = rng.below(1 << 16) as u32;
-    let lo = rng.below(1 << 16) as u32;
-    let hi = rng.below(1 << 16) as u32;
-    let k = 1 + rng.below(32) as usize;
-    vec![
-        // 1. Predicate (Routine 4.1).
-        Query::filtered(
-            vec![Aggregate::Count],
-            BoolExpr::pred("a", CompareFunc::Greater, cut),
-        ),
-        // 2. Range (Routine 4.4) — inverted for roughly half the seeds.
-        Query::filtered(
-            vec![Aggregate::Count, Aggregate::Sum("b".into())],
-            BoolExpr::pred("a", CompareFunc::GreaterEqual, lo).and(BoolExpr::pred(
-                "a",
-                CompareFunc::LessEqual,
-                hi,
-            )),
-        ),
-        // 3. CNF (Routine 4.3).
-        Query::filtered(
-            vec![Aggregate::Count, Aggregate::Max("a".into())],
-            BoolExpr::pred("b", CompareFunc::Less, 2048)
-                .or(BoolExpr::pred("c", CompareFunc::GreaterEqual, 48))
-                .and(BoolExpr::pred("a", CompareFunc::NotEqual, cut)),
-        ),
-        // 4. Semi-linear (Routine 4.2).
-        Query::filtered(
-            vec![Aggregate::Count],
-            BoolExpr::SemiLinear {
-                terms: vec![("a".into(), 1.0), ("b".into(), -2.0)],
-                op: CompareFunc::Greater,
-                constant: cut as f32 / 3.0,
-            },
-        ),
-        // 5. Order statistics (Routine 4.5) — holistic, so the OOM rung
-        // must hand these to the CPU.
-        Query::filtered(
-            vec![
-                Aggregate::Median("a".into()),
-                Aggregate::KthLargest("b".into(), k),
-            ],
-            BoolExpr::pred("c", CompareFunc::Less, 80),
-        ),
-        // 6. Accumulator (Routine 4.6).
-        Query::filtered(
-            vec![
-                Aggregate::Sum("a".into()),
-                Aggregate::Avg("b".into()),
-                Aggregate::Min("b".into()),
-            ],
-            BoolExpr::pred("c", CompareFunc::GreaterEqual, 20),
-        ),
-    ]
-}
 
 /// Run one (seed, query) pair under fault injection and check the
 /// contract. Returns which resilience path answered, for coverage
@@ -237,6 +150,142 @@ fn chaos_without_faults_is_plain_execution() {
             (Ok(a), Ok(b)) => assert_eq!(a, b),
             (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
             (a, b) => panic!("resilient {a:?} vs plain {b:?}"),
+        }
+    }
+}
+
+/// Build a fault vector targeting exactly one shard of `shards`.
+fn target_shard(
+    shards: usize,
+    target: usize,
+    injector: FaultInjector,
+) -> Vec<Option<FaultInjector>> {
+    let mut faults: Vec<Option<FaultInjector>> = (0..shards).map(|_| None).collect();
+    faults[target] = Some(injector);
+    faults
+}
+
+#[test]
+fn shard_chaos_seeded_schedules_match_oracle_or_error_typed() {
+    // The chaos contract, sharded: a fault schedule striking ONE shard
+    // must leave the merged answer byte-identical to the oracle, or
+    // fail with a typed error — and must never disturb the other
+    // shards' ledgers.
+    for seed in 0..48u64 {
+        let shards = 2 + (seed % 3) as usize; // 2..=4
+        let target = (seed % shards as u64) as usize;
+        let horizon = if seed.is_multiple_of(2) { 0 } else { 2_000_000 };
+        let events = 1 + (seed % 6) as usize;
+        let host = workload(seed);
+        for query in query_shapes(seed) {
+            let opts = ShardOptions {
+                shards,
+                ..ShardOptions::default()
+            };
+            let faults = target_shard(
+                shards,
+                target,
+                FaultInjector::from_seed(seed, events, horizon),
+            );
+            let sharded = execute_sharded_with_faults(&host, &query, &opts, faults);
+            let oracle = gpudb::core::cpu_oracle::execute(&host, &query);
+            match (sharded, oracle) {
+                (Ok(s), Ok(o)) => {
+                    assert!(
+                        o.agrees_with(s.output.matched, &s.output.rows),
+                        "seed {seed}: sharded divergence under fault on shard {target}\n \
+                         got matched {} rows {:?}\n oracle: {o:?}",
+                        s.output.matched,
+                        s.output.rows,
+                    );
+                    // The schedule targeted one shard; the others must
+                    // have run clean.
+                    for (i, run) in s.report.shards.iter().enumerate() {
+                        if i != target {
+                            assert!(
+                                run.degradations.is_empty() && run.path == ResiliencePath::Gpu,
+                                "seed {seed}: untargeted shard {i} degraded: {:?}",
+                                run.degradations
+                            );
+                        }
+                    }
+                }
+                (Err(e), Err(oe)) => {
+                    assert_eq!(e.to_string(), oe.to_string(), "seed {seed}: error mismatch")
+                }
+                (Err(e), Ok(_)) => panic!(
+                    "seed {seed}: sharded run failed with {e} (class {:?}) but the oracle answers",
+                    e.fault_class()
+                ),
+                (Ok(s), Err(oe)) => panic!(
+                    "seed {seed}: sharded run answered {:?} but oracle errors with {oe}",
+                    s.output.rows
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_chaos_device_reset_degrades_only_the_struck_shard() {
+    // A DeviceReset at t=0 on shard 1 of 3: that shard answers from the
+    // CPU, the other two stay on the GPU, and the merged answer equals
+    // the fault-free run for every query shape.
+    let host = workload(11);
+    for query in query_shapes(11) {
+        let opts = ShardOptions {
+            shards: 3,
+            ..ShardOptions::default()
+        };
+        let clean = execute_sharded(&host, &query, &opts).expect("clean run");
+        let reset = FaultInjector::with_schedule(vec![FaultEvent {
+            at_ns: 0,
+            kind: FaultKind::DeviceReset,
+        }]);
+        let struck = execute_sharded_with_faults(&host, &query, &opts, target_shard(3, 1, reset))
+            .expect("struck run");
+        assert_eq!(struck.output.matched, clean.output.matched);
+        assert_eq!(struck.output.rows, clean.output.rows);
+        assert_eq!(struck.mask, clean.mask);
+        assert_eq!(struck.report.shards[1].path, ResiliencePath::Cpu);
+        assert!(!struck.report.shards[1].degradations.is_empty());
+        for i in [0, 2] {
+            assert_eq!(struck.report.shards[i].path, ResiliencePath::Gpu);
+            assert!(struck.report.shards[i].degradations.is_empty());
+        }
+    }
+}
+
+#[test]
+fn shard_chaos_hostile_policy_errors_stay_typed() {
+    // No fallback, single attempt, immediate faults on one shard: every
+    // outcome is Ok-with-oracle-parity or a typed EngineError — never a
+    // panic. Logic errors must match the oracle's verdict exactly.
+    for seed in 0..24u64 {
+        let host = workload(seed);
+        let query = &query_shapes(seed)[4]; // order statistics: the holistic shape
+        let opts = ShardOptions {
+            shards: 4,
+            policy: RetryPolicy {
+                max_attempts: 1,
+                cpu_fallback: false,
+                ..RetryPolicy::default()
+            },
+            ..ShardOptions::default()
+        };
+        let faults = target_shard(4, (seed % 4) as usize, FaultInjector::from_seed(seed, 4, 0));
+        match execute_sharded_with_faults(&host, query, &opts, faults) {
+            Ok(s) => {
+                let oracle = gpudb::core::cpu_oracle::execute(&host, query).expect("oracle");
+                assert!(oracle.agrees_with(s.output.matched, &s.output.rows));
+            }
+            Err(e) => {
+                if e.fault_class() == FaultClass::Logic {
+                    let oracle_err =
+                        gpudb::core::cpu_oracle::execute(&host, query).expect_err("oracle err");
+                    assert_eq!(e.to_string(), oracle_err.to_string());
+                }
+            }
         }
     }
 }

@@ -13,6 +13,8 @@
 //! cargo test --test lint_fixtures -- --ignored regenerate_fixtures
 //! ```
 
+mod common;
+
 use gpudb_lint::Linter;
 use gpudb_sim::state::{ColorMask, CompareFunc, PipelineState, StencilOp};
 use gpudb_sim::trace::{DeviceCaps, DrawPass, PassOp, PassPlan, ProgramInfo};
@@ -123,14 +125,16 @@ fn known_bad_plans() -> Vec<Fixture> {
     add("L005", plan);
 
     // L006: a stencil-writing pass with no ClearStencil anywhere in the
-    // plan. L005 stays quiet because its value tracking only starts at
-    // a clear; the stencil write keeps L010 quiet.
+    // plan. The write must be value-*dependent* (`Incr`) — a full-mask
+    // `Replace` under func Always would *establish* the buffer and is
+    // legal under the fused protocol. L005 stays quiet because its value
+    // tracking only starts at a clear or an establishing pass; the
+    // stencil write keeps L010 quiet.
     let mut plan = PassPlan::new("fixture/stencil-write-without-clear", nv35());
     let mut pass = masked_draw();
     pass.state.stencil.enabled = true;
     pass.state.stencil.func = CompareFunc::Always;
-    pass.state.stencil.reference = 1;
-    pass.state.stencil.op_zpass = StencilOp::Replace;
+    pass.state.stencil.op_zpass = StencilOp::Incr;
     plan.ops.push(PassOp::Draw(pass));
     add("L006", plan);
 
@@ -193,6 +197,128 @@ fn known_bad_plans() -> Vec<Fixture> {
 
 fn fixture_path(rule: &str) -> PathBuf {
     fixtures_dir().join(format!("{rule}.json"))
+}
+
+// ---------------------------------------------------------------------
+// Fused-plan fixtures
+// ---------------------------------------------------------------------
+//
+// The pass-fusion optimizer replaces the CNF selection prologue: instead
+// of `ClearStencil` + per-clause passes, the first clause *establishes*
+// the stencil buffer (func Always, full write mask, `Replace`/`Zero`
+// ops) and later clauses reuse the depth buffer when they share the
+// attribute. These fixtures are known-bad *fused* plans — each breaks
+// the fused protocol in exactly one way — pinning down that the lint
+// rules still police the fused shapes. L007/L008/L009 are not
+// applicable: fusion never touches depth encoding, `TestBit` scales, or
+// the depth-bounds test.
+
+/// The rules the fused protocol can violate.
+const FUSED_RULES: [&str; 7] = ["L001", "L002", "L003", "L004", "L005", "L006", "L010"];
+
+/// The fused protocol's establishing first-clause pass: stencil test
+/// Always with full write mask and value-independent ops (`Replace` on
+/// pass, `Zero` on depth-fail), reference `SELECTED = 1`, the clause
+/// predicate on the depth test, writes off.
+fn fused_establishing_draw() -> DrawPass {
+    let mut pass = masked_draw();
+    pass.state.stencil.enabled = true;
+    pass.state.stencil.func = CompareFunc::Always;
+    pass.state.stencil.reference = 1;
+    pass.state.stencil.write_mask = 0xFF;
+    pass.state.stencil.op_fail = StencilOp::Keep;
+    pass.state.stencil.op_zfail = StencilOp::Zero;
+    pass.state.stencil.op_zpass = StencilOp::Replace;
+    pass.state.depth.test_enabled = true;
+    pass.state.depth.func = CompareFunc::Greater;
+    pass
+}
+
+/// The fused protocol's final count pass: read-only stencil mask
+/// (`== SELECTED`, all ops `Keep`) under an occlusion query.
+fn fused_count_draw() -> DrawPass {
+    let mut pass = masked_draw();
+    pass.state.stencil.enabled = true;
+    pass.state.stencil.func = CompareFunc::Equal;
+    pass.state.stencil.reference = 1;
+    pass.state.stencil.op_fail = StencilOp::Keep;
+    pass.state.stencil.op_zfail = StencilOp::Keep;
+    pass.state.stencil.op_zpass = StencilOp::Keep;
+    pass.occlusion_active = true;
+    pass
+}
+
+/// Known-bad fused plans, one per applicable rule. Each violates its own
+/// rule and stays clean under the other nine.
+fn fused_known_bad_plans() -> Vec<Fixture> {
+    let mut fixtures = Vec::new();
+    let mut add = |rule: &str, plan: PassPlan| {
+        fixtures.push(Fixture {
+            expect_rule: rule.to_string(),
+            plan,
+        });
+    };
+
+    // L001: the fused count's occlusion query begun, never ended.
+    let mut plan = PassPlan::new("fused/unpaired-occlusion", nv35());
+    plan.ops.push(PassOp::Draw(fused_establishing_draw()));
+    plan.ops.push(PassOp::BeginOcclusionQuery);
+    add("L001", plan);
+
+    // L002: the fused count read while its query is still active.
+    let mut plan = PassPlan::new("fused/occlusion-read-hazard", nv35());
+    plan.ops.push(PassOp::Draw(fused_establishing_draw()));
+    plan.ops.push(PassOp::BeginOcclusionQuery);
+    plan.ops.push(PassOp::Draw(fused_count_draw()));
+    plan.ops.push(PassOp::ReadOcclusionResult);
+    plan.ops.push(PassOp::EndOcclusionQuery { sync: true });
+    add("L002", plan);
+
+    // L003: an establishing clause pass with depth writes left on — the
+    // fused Compare would overwrite the attribute it compares.
+    let mut plan = PassPlan::new("fused/compare-depth-write", nv35());
+    let mut pass = fused_establishing_draw();
+    pass.state.depth.write_enabled = true;
+    plan.ops.push(PassOp::Draw(pass));
+    add("L003", plan);
+
+    // L004: an establishing clause pass that still shades color.
+    let mut plan = PassPlan::new("fused/color-mask-enabled", nv35());
+    let mut pass = fused_establishing_draw();
+    pass.state.color_mask = ColorMask::default();
+    plan.ops.push(PassOp::Draw(pass));
+    add("L004", plan);
+
+    // L005: an establishing pass writing reference 3 — the established
+    // value escapes the {0, 1, 2} clause encoding.
+    let mut plan = PassPlan::new("fused/stencil-encoding-overflow", nv35());
+    let mut pass = fused_establishing_draw();
+    pass.state.stencil.reference = 3;
+    plan.ops.push(PassOp::Draw(pass));
+    add("L005", plan);
+
+    // L006: a first clause with a partial write mask — it no longer
+    // *establishes* the buffer, so with the clear collapsed away the
+    // write lands on undefined contents.
+    let mut plan = PassPlan::new("fused/partial-establish", nv35());
+    let mut pass = fused_establishing_draw();
+    pass.state.stencil.write_mask = 0x0F;
+    plan.ops.push(PassOp::Draw(pass));
+    add("L006", plan);
+
+    // L010: a fused mask consumer with its occlusion query dropped —
+    // read-only stencil, no writes, nothing observes it.
+    let mut plan = PassPlan::new("fused/dead-count", nv35());
+    let mut pass = fused_count_draw();
+    pass.occlusion_active = false;
+    plan.ops.push(PassOp::Draw(pass));
+    add("L010", plan);
+
+    fixtures
+}
+
+fn fused_fixture_path(rule: &str) -> PathBuf {
+    fixtures_dir().join(format!("fused-{rule}.json"))
 }
 
 /// Every fixture on disk produces at least one diagnostic of its
@@ -266,5 +392,121 @@ fn regenerate_fixtures() {
         let json = serde_json::to_string_pretty(&fixture).unwrap();
         std::fs::write(&path, json + "\n").unwrap();
         println!("wrote {}", path.display());
+    }
+}
+
+/// Every fused fixture on disk fires exactly its expected rule, and the
+/// set covers every rule the fused protocol can violate.
+#[test]
+fn fused_fixtures_trigger_exactly_their_rule() {
+    let linter = Linter::new();
+    let mut covered = Vec::new();
+    for expected in fused_known_bad_plans() {
+        let path = fused_fixture_path(&expected.expect_rule);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} (regenerate with `cargo test --test lint_fixtures -- \
+                 --ignored regenerate_fused_fixtures`)",
+                path.display()
+            )
+        });
+        let fixture: Fixture =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+        let diags = linter.lint(&fixture.plan);
+        assert!(
+            !diags.is_empty(),
+            "{}: expected {} to fire, plan was clean",
+            path.display(),
+            fixture.expect_rule
+        );
+        for d in &diags {
+            assert_eq!(
+                d.rule,
+                fixture.expect_rule,
+                "{}: unexpected extra diagnostic: {d}",
+                path.display()
+            );
+        }
+        covered.push(fixture.expect_rule);
+    }
+    covered.sort();
+    covered.dedup();
+    assert_eq!(
+        covered,
+        FUSED_RULES.map(String::from).to_vec(),
+        "fused fixtures must cover every rule the fused protocol can trip"
+    );
+}
+
+/// The checked-in fused JSON matches the in-repo constructors.
+#[test]
+fn fused_fixtures_match_generated_plans() {
+    for expected in fused_known_bad_plans() {
+        let path = fused_fixture_path(&expected.expect_rule);
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let on_disk: Fixture =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e:?}", path.display()));
+        assert_eq!(
+            on_disk,
+            expected,
+            "{}: stale fixture; regenerate with `cargo test --test lint_fixtures -- \
+             --ignored regenerate_fused_fixtures`",
+            path.display()
+        );
+    }
+}
+
+/// Rewrite `tests/lint_fixtures/fused-*.json` from the constructors.
+#[test]
+#[ignore = "writes tests/lint_fixtures/fused-*.json; run explicitly after an IR change"]
+fn regenerate_fused_fixtures() {
+    let dir = fixtures_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for fixture in fused_known_bad_plans() {
+        let path = fused_fixture_path(&fixture.expect_rule);
+        let json = serde_json::to_string_pretty(&fixture).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        println!("wrote {}", path.display());
+    }
+}
+
+/// The closing of the loop: the *real* fusion optimizer can never emit
+/// a plan that trips any rule, at any severity. Every query shape of the
+/// differential suites is executed with fusion on and a recorder
+/// attached; the recorded plans must be spotless.
+#[test]
+fn fused_optimizer_never_emits_tripping_plans() {
+    use gpudb::prelude::*;
+    let linter = Linter::new();
+    for seed in [0u64, 3, 11, 23, 42] {
+        let host = common::workload(seed);
+        for (shape, query) in common::query_shapes(seed).into_iter().enumerate() {
+            let mut gpu = GpuTable::device_for(host.record_count(), 16);
+            let table = host.upload(&mut gpu).expect("upload");
+            gpu.enable_tracing(gpudb::sim::RecordMode::RecordAndExecute);
+            let result = execute_with_options(
+                &mut gpu,
+                &table,
+                &query,
+                ExecuteOptions {
+                    fuse_passes: true,
+                    ..ExecuteOptions::default()
+                },
+            );
+            let plans = gpu.take_plans();
+            gpu.disable_tracing();
+            result.unwrap_or_else(|e| panic!("seed {seed} shape {shape}: fused execute: {e}"));
+            let report = linter.lint_all(&plans);
+            if !report.is_clean() {
+                let mut rendered = String::new();
+                for plan_report in &report.plans {
+                    for d in &plan_report.diagnostics {
+                        rendered.push_str(&format!("  {}: {d}\n", plan_report.label));
+                    }
+                }
+                panic!("seed {seed} shape {shape}: fused plans trip lint:\n{rendered}");
+            }
+        }
     }
 }
